@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: aligned table
+ * printing and the paper-vs-measured banner each bench emits so that
+ * EXPERIMENTS.md can be regenerated from bench output.
+ */
+
+#ifndef MEALIB_BENCH_BENCH_UTIL_HH
+#define MEALIB_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mealib::bench {
+
+/** Print the bench banner: which figure/table, and the paper's claim. */
+inline void
+banner(const char *experiment, const char *paperClaim)
+{
+    std::printf("=== %s ===\n", experiment);
+    std::printf("paper: %s\n\n", paperClaim);
+}
+
+/** Simple fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> width(headers_.size(), 0);
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            width[c] = headers_[c].size();
+        for (const auto &r : rows_)
+            for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], r[c].size());
+
+        auto line = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c)
+                std::printf("%-*s  ", static_cast<int>(width[c]),
+                            cells[c].c_str());
+            std::printf("\n");
+        };
+        line(headers_);
+        for (const auto &r : rows_)
+            line(r);
+        std::printf("\n");
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting into std::string. */
+inline std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+} // namespace mealib::bench
+
+#endif // MEALIB_BENCH_BENCH_UTIL_HH

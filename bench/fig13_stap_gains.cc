@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 13 reproduction: STAP performance and energy-efficiency (EDP)
+ * gains of MEALib over the optimized MKL+OpenMP Haswell baseline, for
+ * the small/medium/large data sets.
+ *
+ * Paper: performance 2.0x / 2.3x / 3.2x; EDP 4.5x / 9.0x / 10.2x.
+ *
+ * Both modes execute the pipeline functionally (identical numerical
+ * output); pass --large to include the paper-scale 16.7M-inner-product
+ * set (needs ~1 GiB of arena and a couple of minutes).
+ */
+
+#include <complex>
+#include <cstdio>
+
+#include "apps/stap.hh"
+#include "bench_util.hh"
+#include "common/cli.hh"
+#include "runtime/runtime.hh"
+
+using namespace mealib;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    bool include_large = cli.has("large") || cli.has("paper-scale");
+
+    bench::banner("Figure 13: STAP gains over the Haswell baseline",
+                  "performance 2.0/2.3/3.2x and EDP 4.5/9.0/10.2x for "
+                  "small/medium/large");
+
+    struct Set
+    {
+        const char *name;
+        apps::StapParams params;
+        std::uint64_t arena;
+    };
+    std::vector<Set> sets = {
+        {"small", apps::StapParams::smallSet(), 128_MiB},
+        {"medium", apps::StapParams::mediumSet(), 256_MiB},
+    };
+    if (include_large)
+        sets.push_back({"large", apps::StapParams::largeSet(), 1536_MiB});
+
+    bench::Table t({"set", "dot calls", "Haswell (ms)", "MEALib (ms)",
+                    "perf gain", "EDP gain", "output check"});
+    for (const Set &s : sets) {
+        apps::StapResult host = apps::runStapHost(s.params);
+        runtime::RuntimeConfig cfg;
+        cfg.backingBytes = s.arena;
+        runtime::MealibRuntime rt(cfg);
+        apps::StapResult mea = apps::runStapMealib(s.params, rt);
+
+        double maxdiff = 0.0;
+        for (std::size_t i = 0; i < host.prods.size(); ++i)
+            maxdiff = std::max(
+                maxdiff, static_cast<double>(
+                             std::abs(host.prods[i] - mea.prods[i])));
+
+        t.row({s.name, std::to_string(s.params.dotCalls()),
+               bench::fmt("%.2f", host.total().seconds * 1e3),
+               bench::fmt("%.2f", mea.total().seconds * 1e3),
+               bench::fmt("%.2fx", host.total().seconds /
+                                       mea.total().seconds),
+               bench::fmt("%.2fx", host.total().edp() /
+                                       mea.total().edp()),
+               maxdiff == 0.0 ? "bit-identical"
+                              : bench::fmt("maxdiff %.1e", maxdiff)});
+    }
+    t.print();
+
+    if (!include_large)
+        std::printf("(pass --large for the paper-scale 16.7M-product "
+                    "set)\n");
+    std::printf("paper: perf 2.0/2.3/3.2x, EDP 4.5/9.0/10.2x\n");
+    return 0;
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the MiniMKL functional kernels.
+ * Not a paper figure — standard library-release hygiene so downstream
+ * users can track kernel regressions.
+ */
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "minimkl/blas1.hh"
+#include "minimkl/blas2.hh"
+#include "minimkl/blas3.hh"
+#include "minimkl/fft.hh"
+#include "minimkl/resample.hh"
+#include "minimkl/sparse.hh"
+#include "minimkl/transpose.hh"
+
+namespace {
+
+using namespace mealib;
+
+std::vector<float>
+randomVec(std::int64_t n, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<float> v(static_cast<std::size_t>(n));
+    for (auto &x : v)
+        x = rng.uniform(-1.0f, 1.0f);
+    return v;
+}
+
+std::vector<mkl::cfloat>
+randomCVec(std::int64_t n, std::uint64_t seed = 2)
+{
+    Rng rng(seed);
+    std::vector<mkl::cfloat> v(static_cast<std::size_t>(n));
+    for (auto &x : v)
+        x = {rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f)};
+    return v;
+}
+
+void
+BM_Saxpy(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    auto x = randomVec(n);
+    auto y = randomVec(n, 3);
+    for (auto _ : state) {
+        mkl::saxpy(n, 1.0001f, x.data(), 1, y.data(), 1);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n * 12);
+}
+BENCHMARK(BM_Saxpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_Sdot(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    auto x = randomVec(n);
+    auto y = randomVec(n, 5);
+    for (auto _ : state) {
+        float d = mkl::sdot(n, x.data(), 1, y.data(), 1);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n * 8);
+}
+BENCHMARK(BM_Sdot)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_Sgemv(benchmark::State &state)
+{
+    const std::int64_t d = state.range(0);
+    auto a = randomVec(d * d);
+    auto x = randomVec(d, 7);
+    std::vector<float> y(static_cast<std::size_t>(d));
+    for (auto _ : state) {
+        mkl::sgemv(mkl::Order::RowMajor, mkl::Transpose::NoTrans, d, d,
+                   1.0f, a.data(), d, x.data(), 1, 0.0f, y.data(), 1);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            d * d * 2);
+}
+BENCHMARK(BM_Sgemv)->Arg(256)->Arg(1024);
+
+void
+BM_Spmv(benchmark::State &state)
+{
+    Rng rng(11);
+    mkl::CsrMatrix m = mkl::randomGeometricGraph(state.range(0), 13.0,
+                                                 rng);
+    auto x = randomVec(m.cols, 13);
+    std::vector<float> y(static_cast<std::size_t>(m.rows));
+    for (auto _ : state) {
+        mkl::scsrmv(m, x.data(), y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            m.nnz() * 2);
+}
+BENCHMARK(BM_Spmv)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_Fft(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    auto in = randomCVec(n);
+    std::vector<mkl::cfloat> out(in.size());
+    auto plan = mkl::FftPlan::dft1d(n, mkl::FftDirection::Forward);
+    for (auto _ : state) {
+        plan.execute(in.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(plan.flopEstimate()));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_Fft2d(benchmark::State &state)
+{
+    const std::int64_t d = state.range(0);
+    auto in = randomCVec(d * d);
+    std::vector<mkl::cfloat> out(in.size());
+    auto plan = mkl::FftPlan::dft2d(d, d, mkl::FftDirection::Forward);
+    for (auto _ : state) {
+        plan.execute(in.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Fft2d)->Arg(128)->Arg(512);
+
+void
+BM_Transpose(benchmark::State &state)
+{
+    const std::int64_t d = state.range(0);
+    auto a = randomVec(d * d);
+    std::vector<float> b(a.size());
+    for (auto _ : state) {
+        mkl::somatcopy(mkl::Order::RowMajor, mkl::Transpose::Trans, d, d,
+                       1.0f, a.data(), d, b.data(), d);
+        benchmark::DoNotOptimize(b.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            d * d * 8);
+}
+BENCHMARK(BM_Transpose)->Arg(512)->Arg(2048);
+
+void
+BM_Resample(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    auto in = randomVec(n);
+    std::vector<float> out(static_cast<std::size_t>(2 * n));
+    for (auto _ : state) {
+        mkl::resample1d(in.data(), n, out.data(), 2 * n,
+                        mkl::InterpKind::Sinc8);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            2 * n);
+}
+BENCHMARK(BM_Resample)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_Cherk(benchmark::State &state)
+{
+    const std::int64_t n = 48, k = state.range(0);
+    auto a = randomCVec(n * k);
+    std::vector<mkl::cfloat> c(static_cast<std::size_t>(n * n));
+    for (auto _ : state) {
+        mkl::cherk(mkl::Order::RowMajor, mkl::Uplo::Lower,
+                   mkl::Transpose::NoTrans, n, k, 1.0f, a.data(), k,
+                   0.0f, c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_Cherk)->Arg(64)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table 5 reproduction: estimated power and 32 nm area of every
+ * component on the accelerator layer, plus the DRAM-logic-layer extras
+ * (Sec. 5.2). Power per primitive accelerator includes the 3D-DRAM
+ * power while that accelerator saturates the stack, exactly as the
+ * paper accounts it.
+ */
+
+#include <cstdio>
+
+#include "accel/config.hh"
+#include "accel/model.hh"
+#include "bench_util.hh"
+#include "dram/params.hh"
+#include "mealib/platform.hh"
+#include "noc/mesh.hh"
+
+using namespace mealib;
+using mealib::accel::AccelKind;
+
+int
+main()
+{
+    bench::banner(
+        "Table 5: power and area of the accelerator layer (32 nm)",
+        "AXPY 23.56 W / 1.38 mm2 ... FFT 18.89 W / 16.13 mm2; NoC "
+        "0.095 W / 1.44 mm2; TSVs 1.75 mm2; total 23.85 W, 41.77 mm2 "
+        "(61.43% of the 68 mm2 layer)");
+
+    const AccelKind kinds[] = {
+        AccelKind::AXPY, AccelKind::DOT,   AccelKind::GEMV,
+        AccelKind::SPMV, AccelKind::RESMP, AccelKind::FFT,
+        AccelKind::RESHP,
+    };
+    const double paper_power[] = {23.56, 23.49, 23.75, 15.44,
+                                  8.19,  18.89, 22.70};
+    const double paper_area[] = {1.38, 1.81, 2.45, 14.17,
+                                 2.64, 16.13, 0.0};
+
+    noc::Mesh mesh(noc::mealibMesh());
+    dram::DramParams stack = dram::hmcStack();
+
+    bench::Table t({"component", "power (W)", "paper (W)", "area (mm2)",
+                    "paper (mm2)", "area %"});
+    double total_area = 0.0;
+    double max_power = 0.0;
+    int i = 0;
+    for (AccelKind k : kinds) {
+        accel::AccelConfig cfg = accel::defaultConfig(k);
+        accel::AccelModel model(k, cfg, stack, noc::mealibMesh());
+        // Run the accelerator's Table-2 workload to obtain its average
+        // power at full memory utilization (logic + DRAM).
+        eval::Workload w = eval::table2Workload(k, 1.0 / 16.0);
+        accel::AccelEstimate e = model.estimate(w.call, w.loop);
+        double area = accel::areaMm2(k, cfg);
+        total_area += area;
+        max_power = std::max(max_power, e.powerW());
+        t.row({accel::name(k), bench::fmt("%.2f", e.powerW()),
+               bench::fmt("%.2f", paper_power[i]),
+               bench::fmt("%.2f", area),
+               paper_area[i] > 0 ? bench::fmt("%.2f", paper_area[i])
+                                 : "- (logic layer)",
+               bench::fmt("%.2f%%", 100.0 * area /
+                                        accel::kLayerAreaMm2)});
+        ++i;
+    }
+
+    t.row({"NoC (router+link)", bench::fmt("%.3f", mesh.leakageW()),
+           "0.095", bench::fmt("%.2f", mesh.areaMm2()), "1.44",
+           bench::fmt("%.2f%%",
+                      100.0 * mesh.areaMm2() / accel::kLayerAreaMm2)});
+    t.row({"TSVs", "-", "-", bench::fmt("%.2f", accel::kTsvAreaMm2),
+           "1.75",
+           bench::fmt("%.2f%%",
+                      100.0 * accel::kTsvAreaMm2 /
+                          accel::kLayerAreaMm2)});
+    total_area += mesh.areaMm2() + accel::kTsvAreaMm2;
+
+    // Sec. 5.2: only the hungriest primitive accelerator can be active
+    // (they all saturate the same 510 GB/s), so the layer's power is
+    // max(accelerator) + NoC.
+    double total_power = max_power + mesh.leakageW();
+    t.row({"Total", bench::fmt("%.2f", total_power), "23.85",
+           bench::fmt("%.2f", total_area), "41.77",
+           bench::fmt("%.2f%%",
+                      100.0 * total_area / accel::kLayerAreaMm2)});
+    t.print();
+
+    dram::LogicLayerExtras extras;
+    std::printf("DRAM logic layer extras (MUX + reshape unit): %.2f W, "
+                "%.2f mm2 (%.2f%% of the logic layer) — paper: 0.25 W, "
+                "0.45 mm2 (0.66%%)\n",
+                extras.powerW, extras.areaMm2,
+                100.0 * extras.areaMm2 / extras.logicLayerAreaMm2);
+    return 0;
+}

@@ -1,0 +1,12 @@
+/* Sample legacy program for the mealib-s2s smoke test. */
+float *x = malloc(4096 * sizeof(float));
+float *y = malloc(4096 * sizeof(float));
+
+cblas_saxpy(1024, 2.0, x, 1, y, 1);
+
+#pragma omp parallel for
+for (i = 0; i < 16; ++i)
+    cblas_sdot(256, &x[i * 256], 1, &y[i * 256], 1);
+
+free(x);
+free(y);

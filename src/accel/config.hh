@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Accelerator-layer design parameters and the 32 nm synthesis-derived
+ * power/area constants (the paper obtains these from Synopsys Design
+ * Compiler; we encode the resulting constants, calibrated against the
+ * paper's Table 5, and scale them across the Fig. 11 design space).
+ */
+
+#ifndef MEALIB_ACCEL_CONFIG_HH
+#define MEALIB_ACCEL_CONFIG_HH
+
+#include <cstdint>
+
+#include "accel/ops.hh"
+#include "common/units.hh"
+
+namespace mealib::accel {
+
+/** Tunable design parameters of one accelerator (Sec. 5.3 sweep axes). */
+struct AccelConfig
+{
+    double freq = 1.0_GHz;        //!< accelerator clock
+    unsigned tiles = 32;          //!< one tile per vault (Fig. 4)
+    unsigned coresPerTile = 4;    //!< PEs per tile
+    double flopsPerCycle = 8.0;   //!< per PE (SIMD lanes x FMA)
+    std::uint64_t localMemKiB = 64;  //!< per-tile local memory
+    std::uint64_t blockElems = 4096; //!< algorithmic tile/block size
+};
+
+/** Default configuration used for Tables 2/5 and Figs. 9/10. */
+AccelConfig defaultConfig(AccelKind kind);
+
+/** Per-kind synthesis constants at the default configuration, 32 nm. */
+struct SynthesisConstants
+{
+    double logicPowerW;   //!< datapath+LM power at 1 GHz, default cores
+    double areaMm2;       //!< Table 5 area at the default configuration
+    double computeUtil;   //!< fraction of peak PE issue the kind sustains
+};
+
+/** Synthesis constants for @p kind (values land on Table 5). */
+SynthesisConstants synthesis(AccelKind kind);
+
+/**
+ * Logic power at a non-default configuration: dynamic power scales with
+ * clock and PE count over a fixed leakage floor.
+ */
+double logicPowerW(AccelKind kind, const AccelConfig &cfg);
+
+/** Area at a non-default configuration (scales with PE count). */
+double areaMm2(AccelKind kind, const AccelConfig &cfg);
+
+/** TSV array area on the accelerator layer (Table 5). */
+inline constexpr double kTsvAreaMm2 = 1.75;
+
+/** Total accelerator-layer area budget (HMC 2011 die, Sec. 5.2). */
+inline constexpr double kLayerAreaMm2 = 68.0;
+
+} // namespace mealib::accel
+
+#endif // MEALIB_ACCEL_CONFIG_HH

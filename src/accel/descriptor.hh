@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The accelerator descriptor (paper Sec. 2.3): a physically contiguous
+ * memory image with three regions —
+ *
+ *   Control Region (CR):    command word (START/DONE) + instruction count
+ *   Instruction Region (IR): COMP / PASS_END / LOOP instructions
+ *   Parameter Region (PR):  serialized per-invocation parameters
+ *
+ * The host builds this image in the command space and writes START; the
+ * configuration unit (FetchUnit/IMEM/DecodeUnit, Fig. 5) then parses and
+ * executes it. DescriptorProgram is the in-memory form; encode()/decode()
+ * convert to/from the binary image.
+ */
+
+#ifndef MEALIB_ACCEL_DESCRIPTOR_HH
+#define MEALIB_ACCEL_DESCRIPTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/ops.hh"
+
+namespace mealib::accel {
+
+/** CR command values. */
+enum class Command : std::uint64_t
+{
+    Idle = 0,
+    Start = 1,
+    Done = 2,
+};
+
+/** Instruction opcodes beyond the accelerator kinds. */
+inline constexpr std::uint8_t kOpcodePassEnd = 0x10;
+inline constexpr std::uint8_t kOpcodeLoop = 0x11;
+
+/** One IR instruction in decoded form. */
+struct Instr
+{
+    enum class Type
+    {
+        Comp,    //!< invoke one accelerator
+        PassEnd, //!< end of a PASS (datapath boundary)
+        Loop,    //!< repeat the following @c bodyCount instructions
+    };
+
+    Type type = Type::Comp;
+    OpCall call;               //!< valid for Comp
+    LoopSpec loop;             //!< valid for Loop
+    std::uint32_t bodyCount = 0; //!< valid for Loop: instrs in the body
+};
+
+/** A full accelerator program (decoded descriptor). */
+struct DescriptorProgram
+{
+    std::vector<Instr> instrs;
+
+    /** Append a COMP instruction. */
+    void
+    addComp(const OpCall &call)
+    {
+        Instr i;
+        i.type = Instr::Type::Comp;
+        i.call = call;
+        instrs.push_back(i);
+    }
+
+    /** Append a PASS_END marker. */
+    void
+    addPassEnd()
+    {
+        Instr i;
+        i.type = Instr::Type::PassEnd;
+        instrs.push_back(i);
+    }
+
+    /** Append a LOOP head covering the next @p bodyCount instructions. */
+    void
+    addLoop(const LoopSpec &loop, std::uint32_t bodyCount)
+    {
+        Instr i;
+        i.type = Instr::Type::Loop;
+        i.loop = loop;
+        i.bodyCount = bodyCount;
+        instrs.push_back(i);
+    }
+
+    /** fatal() if the program is structurally invalid. */
+    void validate() const;
+
+    /** Number of accelerator invocations including loop expansion. */
+    std::uint64_t expandedCompCount() const;
+};
+
+/** Byte offsets of the binary image. */
+inline constexpr std::uint64_t kCrBytes = 32;
+inline constexpr std::uint64_t kInstrBytes = 32;
+
+/** Serialize @p prog into a descriptor image (CR command = Idle). */
+std::vector<std::uint8_t> encode(const DescriptorProgram &prog);
+
+/** Parse a descriptor image; fatal() on malformed input. */
+DescriptorProgram decode(const std::uint8_t *data, std::size_t size);
+
+/** Read/write the CR command word of an encoded image. */
+Command readCommand(const std::uint8_t *image, std::size_t size);
+void writeCommand(std::uint8_t *image, std::size_t size, Command cmd);
+
+} // namespace mealib::accel
+
+#endif // MEALIB_ACCEL_DESCRIPTOR_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SAR (Synthetic Aperture Radar) image-formation kernel, the paper's
+ * accelerator-chaining workload (Sec. 5.4, Fig. 12a, reference [27]):
+ * per-row range interpolation (RESMP) feeding an azimuth FFT (FFT).
+ *
+ * Two execution strategies are compared:
+ *  - hardware chaining: RESMP and FFT in one PASS of one descriptor —
+ *    the intermediate never round-trips through DRAM and only one
+ *    invocation (flush + descriptor + START) is paid;
+ *  - software chaining: two descriptors executed back to back, paying
+ *    two invocations and a full DRAM round trip of the intermediate.
+ *
+ * The same module provides the Fig. 12b loop workload: a batch of FFTs
+ * issued either as one LOOP descriptor (hardware loop) or as N separate
+ * descriptors (software loop).
+ */
+
+#ifndef MEALIB_APPS_SAR_HH
+#define MEALIB_APPS_SAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "minimkl/types.hh"
+#include "runtime/runtime.hh"
+
+namespace mealib::apps {
+
+/** Result of one SAR-chain run. */
+struct SarResult
+{
+    std::vector<mkl::cfloat> image; //!< azimuth spectrum, row-major
+    Cost total;                     //!< accelerator + invocation cost
+    std::uint64_t descriptors = 0;
+};
+
+/**
+ * Process an @p n x @p n image: each row is sinc-resampled from n/2
+ * input samples to n, then FFT'd. @p hardwareChaining selects one
+ * chained PASS versus two separate descriptor invocations.
+ */
+SarResult runSarChain(std::uint64_t n, bool hardwareChaining,
+                      runtime::MealibRuntime &rt, std::uint64_t seed = 7);
+
+/** Result of one FFT-loop run (Fig. 12b). */
+struct FftLoopResult
+{
+    Cost total;
+    std::uint64_t descriptors = 0;
+};
+
+/**
+ * Execute @p count FFTs of size @p n x @p n (2D) either through one
+ * LOOP descriptor (@p hardwareLoop) or @p count separate descriptors.
+ * Cost-model only (functional execution of 128 large FFTs would not
+ * change the comparison); buffers still live in the runtime arena.
+ */
+FftLoopResult runFftLoop(std::uint64_t n, std::uint64_t count,
+                         bool hardwareLoop, runtime::MealibRuntime &rt);
+
+} // namespace mealib::apps
+
+#endif // MEALIB_APPS_SAR_HH

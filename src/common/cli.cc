@@ -1,0 +1,71 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mealib {
+
+Cli::Cli(int argc, const char *const *argv)
+{
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) &&
+                   std::string(argv[i + 1]).rfind("-", 0) != 0) {
+            // `--key value` form: consume the next token as the value
+            options_[body] = argv[++i];
+        } else {
+            options_[body] = "";
+        }
+    }
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return options_.count(name) > 0;
+}
+
+std::string
+Cli::get(const std::string &name, const std::string &def) const
+{
+    auto it = options_.find(name);
+    return it == options_.end() ? def : it->second;
+}
+
+std::int64_t
+Cli::getInt(const std::string &name, std::int64_t def) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty())
+        return def;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    fatalIf(end == nullptr || *end != '\0',
+            "flag --", name, " expects an integer, got '", it->second, "'");
+    return v;
+}
+
+double
+Cli::getDouble(const std::string &name, double def) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    fatalIf(end == nullptr || *end != '\0',
+            "flag --", name, " expects a number, got '", it->second, "'");
+    return v;
+}
+
+} // namespace mealib

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All workload generators use this splitmix64/xoshiro-style generator so
+ * that tests, benches and examples are bit-reproducible across platforms
+ * (std::mt19937 distributions are not portable across standard libraries).
+ */
+
+#ifndef MEALIB_COMMON_RNG_HH
+#define MEALIB_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace mealib {
+
+/** Small, fast, deterministic PRNG (xorshift128+ with splitmix64 seeding). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 to expand the seed into two nonzero state words
+        s0_ = splitmix(seed);
+        s1_ = splitmix(seed);
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return a uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /** @return a uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+  private:
+    static std::uint64_t
+    splitmix(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace mealib
+
+#endif // MEALIB_COMMON_RNG_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulators.
+ */
+
+#ifndef MEALIB_COMMON_STATS_HH
+#define MEALIB_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace mealib {
+
+/** Running scalar statistic: count / sum / min / max / mean / stddev. */
+class ScalarStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        count_ += 1;
+        sum_ += v;
+        sumSq_ += v * v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double
+    stddev() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        double n = static_cast<double>(count_);
+        double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = ScalarStat{};
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Named breakdown of a quantity into components (e.g. energy by
+ * accelerator). Used by the Fig. 14 benches and the runtime accounting.
+ */
+class Breakdown
+{
+  public:
+    void
+    add(const std::string &key, double v)
+    {
+        parts_[key] += v;
+    }
+
+    double
+    get(const std::string &key) const
+    {
+        auto it = parts_.find(key);
+        return it == parts_.end() ? 0.0 : it->second;
+    }
+
+    double
+    total() const
+    {
+        double t = 0.0;
+        for (const auto &[k, v] : parts_)
+            t += v;
+        return t;
+    }
+
+    /** Fraction of the total attributed to @p key (0 if total is 0). */
+    double
+    fraction(const std::string &key) const
+    {
+        double t = total();
+        return t > 0.0 ? get(key) / t : 0.0;
+    }
+
+    const std::map<std::string, double> &parts() const { return parts_; }
+
+  private:
+    std::map<std::string, double> parts_;
+};
+
+} // namespace mealib
+
+#endif // MEALIB_COMMON_STATS_HH

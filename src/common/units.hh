@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit helpers shared across the simulator.
+ *
+ * All models use SI base units internally: seconds, joules, watts, bytes,
+ * hertz. These helpers exist to make parameter tables readable and to keep
+ * unit conversions out of model code.
+ */
+
+#ifndef MEALIB_COMMON_UNITS_HH
+#define MEALIB_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace mealib {
+
+/** Simulator cycle count. */
+using Cycles = std::uint64_t;
+
+/** Physical (simulated) memory address. */
+using Addr = std::uint64_t;
+
+// --- byte sizes -----------------------------------------------------------
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+// --- frequencies ----------------------------------------------------------
+
+constexpr double operator""_MHz(long double v)
+{
+    return static_cast<double>(v) * 1e6;
+}
+
+constexpr double operator""_GHz(long double v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+
+// --- bandwidth ------------------------------------------------------------
+
+/** Bandwidth literal in GB/s (decimal, as memory vendors quote it). */
+constexpr double operator""_GBps(long double v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+
+// --- time -----------------------------------------------------------------
+
+constexpr double operator""_ns(long double v)
+{
+    return static_cast<double>(v) * 1e-9;
+}
+
+constexpr double operator""_us(long double v)
+{
+    return static_cast<double>(v) * 1e-6;
+}
+
+constexpr double operator""_ms(long double v)
+{
+    return static_cast<double>(v) * 1e-3;
+}
+
+// --- energy ---------------------------------------------------------------
+
+constexpr double operator""_pJ(long double v)
+{
+    return static_cast<double>(v) * 1e-12;
+}
+
+constexpr double operator""_nJ(long double v)
+{
+    return static_cast<double>(v) * 1e-9;
+}
+
+constexpr double operator""_mW(long double v)
+{
+    return static_cast<double>(v) * 1e-3;
+}
+
+/**
+ * A (time, energy) pair: the universal cost currency of the models.
+ *
+ * Costs compose either in sequence (operator+) or, for overlapping
+ * activities, via max-of-times with summed energy (see overlap()).
+ */
+struct Cost
+{
+    double seconds = 0.0; //!< wall-clock time
+    double joules = 0.0;  //!< energy consumed
+
+    Cost &
+    operator+=(const Cost &o)
+    {
+        seconds += o.seconds;
+        joules += o.joules;
+        return *this;
+    }
+
+    friend Cost
+    operator+(Cost a, const Cost &b)
+    {
+        a += b;
+        return a;
+    }
+
+    /** Average power over the interval (0 for zero-length intervals). */
+    double
+    watts() const
+    {
+        return seconds > 0.0 ? joules / seconds : 0.0;
+    }
+
+    /** Energy-delay product (J*s), the paper's efficiency metric. */
+    double
+    edp() const
+    {
+        return joules * seconds;
+    }
+};
+
+/** Compose two overlapped activities: time is the max, energy adds. */
+inline Cost
+overlap(const Cost &a, const Cost &b)
+{
+    return {a.seconds > b.seconds ? a.seconds : b.seconds,
+            a.joules + b.joules};
+}
+
+} // namespace mealib
+
+#endif // MEALIB_COMMON_UNITS_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Functional backing store for the simulated physical address space.
+ *
+ * The timing/energy side of the simulation works on addresses alone; the
+ * functional side (accelerator executors, the runtime's shared-memory
+ * manager) needs actual bytes. PhysMem is that byte arena: a bounds-
+ * checked, zero-initialized region representing the beginning of the
+ * stack's physical space. The modeled capacity may exceed the backing
+ * size; only functionally-used addresses must fit the backing.
+ */
+
+#ifndef MEALIB_DRAM_PHYSMEM_HH
+#define MEALIB_DRAM_PHYSMEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace mealib::dram {
+
+/** Byte-addressable functional memory. */
+class PhysMem
+{
+  public:
+    /** @param backingBytes bytes of functional storage to allocate. */
+    explicit PhysMem(std::uint64_t backingBytes)
+        : mem_(backingBytes, 0)
+    {
+        fatalIf(backingBytes == 0, "physmem: zero backing size");
+    }
+
+    std::uint64_t size() const { return mem_.size(); }
+
+    /** Raw byte pointer to [addr, addr+bytes); fatal() if out of range. */
+    std::uint8_t *
+    raw(Addr addr, std::uint64_t bytes)
+    {
+        check(addr, bytes);
+        return mem_.data() + addr;
+    }
+
+    const std::uint8_t *
+    raw(Addr addr, std::uint64_t bytes) const
+    {
+        check(addr, bytes);
+        return mem_.data() + addr;
+    }
+
+    /** Typed pointer to @p count elements of T at @p addr. */
+    template <typename T>
+    T *
+    ptr(Addr addr, std::uint64_t count)
+    {
+        fatalIf(addr % alignof(T) != 0, "physmem: misaligned access at ",
+                addr);
+        return reinterpret_cast<T *>(raw(addr, count * sizeof(T)));
+    }
+
+    template <typename T>
+    const T *
+    ptr(Addr addr, std::uint64_t count) const
+    {
+        fatalIf(addr % alignof(T) != 0, "physmem: misaligned access at ",
+                addr);
+        return reinterpret_cast<const T *>(raw(addr, count * sizeof(T)));
+    }
+
+  private:
+    void
+    check(Addr addr, std::uint64_t bytes) const
+    {
+        fatalIf(addr + bytes > mem_.size() || addr + bytes < addr,
+                "physmem: access [", addr, ", ", addr + bytes,
+                ") outside backing of ", mem_.size(), " bytes");
+    }
+
+    std::vector<std::uint8_t> mem_;
+};
+
+} // namespace mealib::dram
+
+#endif // MEALIB_DRAM_PHYSMEM_HH

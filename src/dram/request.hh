@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memory request records exchanged between trace generators and the DRAM
+ * simulator.
+ */
+
+#ifndef MEALIB_DRAM_REQUEST_HH
+#define MEALIB_DRAM_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace mealib::dram {
+
+/** A single DRAM access. Trace generators chunk accesses into bursts. */
+struct Request
+{
+    Addr addr = 0;             //!< byte address within the stack
+    std::uint32_t bytes = 0;   //!< transfer size (<= one burst)
+    bool isWrite = false;      //!< write (true) or read (false)
+};
+
+/** A request stream plus the footprint it represents.
+ *
+ * Large operations are sampled: @c requests covers @c sampledBytes of
+ * traffic out of @c totalBytes; the simulator extrapolates the remainder
+ * from steady-state behaviour of the sampled window.
+ */
+struct Trace
+{
+    std::vector<Request> requests;
+    std::uint64_t sampledBytes = 0; //!< traffic covered by @c requests
+    std::uint64_t totalBytes = 0;   //!< traffic of the full operation
+
+    /** Extrapolation factor from the sampled window to the full op. */
+    double
+    scale() const
+    {
+        if (sampledBytes == 0)
+            return 1.0;
+        return static_cast<double>(totalBytes) /
+               static_cast<double>(sampledBytes);
+    }
+};
+
+} // namespace mealib::dram
+
+#endif // MEALIB_DRAM_REQUEST_HH

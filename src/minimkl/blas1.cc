@@ -1,0 +1,214 @@
+#include "minimkl/blas1.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mealib::mkl {
+
+namespace {
+
+/** BLAS convention: with negative stride the vector starts at the end. */
+inline std::int64_t
+startIndex(std::int64_t n, std::int64_t inc)
+{
+    return inc >= 0 ? 0 : (1 - n) * inc;
+}
+
+} // namespace
+
+void
+saxpy(std::int64_t n, float a, const float *x, std::int64_t incx, float *y,
+      std::int64_t incy)
+{
+    if (n <= 0 || a == 0.0f)
+        return;
+    fatalIf(incx == 0 || incy == 0, "saxpy: zero stride");
+    if (incx == 1 && incy == 1) {
+        for (std::int64_t i = 0; i < n; ++i)
+            y[i] += a * x[i];
+        return;
+    }
+    std::int64_t ix = startIndex(n, incx);
+    std::int64_t iy = startIndex(n, incy);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy)
+        y[iy] += a * x[ix];
+}
+
+void
+saxpby(std::int64_t n, float a, const float *x, std::int64_t incx,
+       float b, float *y, std::int64_t incy)
+{
+    if (n <= 0)
+        return;
+    fatalIf(incx == 0 || incy == 0, "saxpby: zero stride");
+    if (b == 1.0f) {
+        saxpy(n, a, x, incx, y, incy);
+        return;
+    }
+    std::int64_t ix = startIndex(n, incx);
+    std::int64_t iy = startIndex(n, incy);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy)
+        y[iy] = a * x[ix] + b * y[iy];
+}
+
+void
+sscal(std::int64_t n, float a, float *x, std::int64_t incx)
+{
+    if (n <= 0)
+        return;
+    fatalIf(incx == 0, "sscal: zero stride");
+    std::int64_t ix = startIndex(n, incx);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx)
+        x[ix] *= a;
+}
+
+void
+scopy(std::int64_t n, const float *x, std::int64_t incx, float *y,
+      std::int64_t incy)
+{
+    if (n <= 0)
+        return;
+    fatalIf(incx == 0 || incy == 0, "scopy: zero stride");
+    std::int64_t ix = startIndex(n, incx);
+    std::int64_t iy = startIndex(n, incy);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy)
+        y[iy] = x[ix];
+}
+
+float
+sdot(std::int64_t n, const float *x, std::int64_t incx, const float *y,
+     std::int64_t incy)
+{
+    if (n <= 0)
+        return 0.0f;
+    fatalIf(incx == 0 || incy == 0, "sdot: zero stride");
+    // Accumulate in double: cheap insurance against cancellation on the
+    // 256M-element vectors of Table 2.
+    double acc = 0.0;
+    if (incx == 1 && incy == 1) {
+        for (std::int64_t i = 0; i < n; ++i)
+            acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+        return static_cast<float>(acc);
+    }
+    std::int64_t ix = startIndex(n, incx);
+    std::int64_t iy = startIndex(n, incy);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy)
+        acc += static_cast<double>(x[ix]) * static_cast<double>(y[iy]);
+    return static_cast<float>(acc);
+}
+
+float
+snrm2(std::int64_t n, const float *x, std::int64_t incx)
+{
+    if (n <= 0)
+        return 0.0f;
+    fatalIf(incx == 0, "snrm2: zero stride");
+    // Scaled sum of squares (LAPACK slassq style) to avoid overflow.
+    double scale = 0.0;
+    double ssq = 1.0;
+    std::int64_t ix = startIndex(n, incx);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx) {
+        double ax = std::fabs(static_cast<double>(x[ix]));
+        if (ax == 0.0)
+            continue;
+        if (scale < ax) {
+            ssq = 1.0 + ssq * (scale / ax) * (scale / ax);
+            scale = ax;
+        } else {
+            ssq += (ax / scale) * (ax / scale);
+        }
+    }
+    return static_cast<float>(scale * std::sqrt(ssq));
+}
+
+float
+sasum(std::int64_t n, const float *x, std::int64_t incx)
+{
+    if (n <= 0)
+        return 0.0f;
+    fatalIf(incx == 0, "sasum: zero stride");
+    double acc = 0.0;
+    std::int64_t ix = startIndex(n, incx);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx)
+        acc += std::fabs(static_cast<double>(x[ix]));
+    return static_cast<float>(acc);
+}
+
+std::int64_t
+isamax(std::int64_t n, const float *x, std::int64_t incx)
+{
+    if (n <= 0)
+        return -1;
+    fatalIf(incx == 0, "isamax: zero stride");
+    std::int64_t best = 0;
+    float best_v = std::fabs(x[startIndex(n, incx)]);
+    std::int64_t ix = startIndex(n, incx);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx) {
+        float v = std::fabs(x[ix]);
+        if (v > best_v) {
+            best_v = v;
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+caxpy(std::int64_t n, cfloat a, const cfloat *x, std::int64_t incx,
+      cfloat *y, std::int64_t incy)
+{
+    if (n <= 0 || a == cfloat{})
+        return;
+    fatalIf(incx == 0 || incy == 0, "caxpy: zero stride");
+    std::int64_t ix = startIndex(n, incx);
+    std::int64_t iy = startIndex(n, incy);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy)
+        y[iy] += a * x[ix];
+}
+
+cfloat
+cdotc(std::int64_t n, const cfloat *x, std::int64_t incx, const cfloat *y,
+      std::int64_t incy)
+{
+    if (n <= 0)
+        return {};
+    fatalIf(incx == 0 || incy == 0, "cdotc: zero stride");
+    double re = 0.0, im = 0.0;
+    std::int64_t ix = startIndex(n, incx);
+    std::int64_t iy = startIndex(n, incy);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy) {
+        const cfloat &a = x[ix];
+        const cfloat &b = y[iy];
+        // conj(a) * b, accumulated in double
+        re += static_cast<double>(a.real()) * b.real() +
+              static_cast<double>(a.imag()) * b.imag();
+        im += static_cast<double>(a.real()) * b.imag() -
+              static_cast<double>(a.imag()) * b.real();
+    }
+    return {static_cast<float>(re), static_cast<float>(im)};
+}
+
+cfloat
+cdotu(std::int64_t n, const cfloat *x, std::int64_t incx, const cfloat *y,
+      std::int64_t incy)
+{
+    if (n <= 0)
+        return {};
+    fatalIf(incx == 0 || incy == 0, "cdotu: zero stride");
+    double re = 0.0, im = 0.0;
+    std::int64_t ix = startIndex(n, incx);
+    std::int64_t iy = startIndex(n, incy);
+    for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy) {
+        const cfloat &a = x[ix];
+        const cfloat &b = y[iy];
+        re += static_cast<double>(a.real()) * b.real() -
+              static_cast<double>(a.imag()) * b.imag();
+        im += static_cast<double>(a.real()) * b.imag() +
+              static_cast<double>(a.imag()) * b.real();
+    }
+    return {static_cast<float>(re), static_cast<float>(im)};
+}
+
+} // namespace mealib::mkl

@@ -1,0 +1,341 @@
+#include "minimkl/blas3.hh"
+
+#include <algorithm>
+#include <complex>
+
+#include "common/logging.hh"
+
+namespace mealib::mkl {
+
+namespace {
+
+inline float
+conjOf(float v)
+{
+    return v;
+}
+
+inline cfloat
+conjOf(cfloat v)
+{
+    return std::conj(v);
+}
+
+template <typename T>
+inline bool
+isZero(const T &v)
+{
+    return v == T{};
+}
+
+/** Element accessor for op(A) of a row-major stored matrix. */
+template <typename T>
+class OpView
+{
+  public:
+    OpView(const T *a, std::int64_t lda, Transpose trans)
+        : a_(a), lda_(lda),
+          trans_(trans != Transpose::NoTrans),
+          conj_(trans == Transpose::ConjTrans)
+    {}
+
+    T
+    operator()(std::int64_t i, std::int64_t j) const
+    {
+        T v = trans_ ? a_[j * lda_ + i] : a_[i * lda_ + j];
+        return conj_ ? conjOf(v) : v;
+    }
+
+  private:
+    const T *a_;
+    std::int64_t lda_;
+    bool trans_;
+    bool conj_;
+};
+
+/** Row-major blocked GEMM core: C := alpha*op(A)*op(B) + beta*C. */
+template <typename T>
+void
+gemmRowMajor(Transpose transa, Transpose transb, std::int64_t m,
+             std::int64_t n, std::int64_t k, T alpha, const T *a,
+             std::int64_t lda, const T *b, std::int64_t ldb, T beta, T *c,
+             std::int64_t ldc)
+{
+    fatalIf(m < 0 || n < 0 || k < 0, "gemm: negative dimension");
+    fatalIf(ldc < n && m > 0, "gemm: ldc too small");
+    if (m == 0 || n == 0)
+        return;
+
+    for (std::int64_t i = 0; i < m; ++i) {
+        T *row = c + i * ldc;
+        if (isZero(beta)) {
+            std::fill(row, row + n, T{});
+        } else if (beta != T{1}) {
+            for (std::int64_t j = 0; j < n; ++j)
+                row[j] *= beta;
+        }
+    }
+    if (isZero(alpha) || k == 0)
+        return;
+
+    OpView<T> A(a, lda, transa);
+    OpView<T> B(b, ldb, transb);
+
+    // i-k-j loop nest with square blocking: the kj inner loops stream
+    // over rows of op(B) and C, which keeps the walk unit-stride when
+    // op(B) is untransposed.
+    constexpr std::int64_t BS = 64;
+    for (std::int64_t ii = 0; ii < m; ii += BS) {
+        std::int64_t ie = std::min(ii + BS, m);
+        for (std::int64_t kk = 0; kk < k; kk += BS) {
+            std::int64_t ke = std::min(kk + BS, k);
+            for (std::int64_t jj = 0; jj < n; jj += BS) {
+                std::int64_t je = std::min(jj + BS, n);
+                for (std::int64_t i = ii; i < ie; ++i) {
+                    T *crow = c + i * ldc;
+                    for (std::int64_t p = kk; p < ke; ++p) {
+                        T av = alpha * A(i, p);
+                        if (isZero(av))
+                            continue;
+                        for (std::int64_t j = jj; j < je; ++j)
+                            crow[j] += av * B(p, j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+Uplo
+flipUplo(Uplo u)
+{
+    return u == Uplo::Upper ? Uplo::Lower : Uplo::Upper;
+}
+
+/** Row-major CHERK core. */
+void
+cherkRowMajor(Uplo uplo, Transpose trans, std::int64_t n, std::int64_t k,
+              float alpha, const cfloat *a, std::int64_t lda, float beta,
+              cfloat *c, std::int64_t ldc)
+{
+    fatalIf(n < 0 || k < 0, "cherk: negative dimension");
+    fatalIf(trans == Transpose::Trans,
+            "cherk: trans must be NoTrans or ConjTrans");
+    if (n == 0)
+        return;
+    fatalIf(ldc < n, "cherk: ldc too small");
+
+    const bool upper = uplo == Uplo::Upper;
+
+    // Scale the referenced triangle; the diagonal of a Hermitian matrix
+    // is real, and BLAS guarantees the imaginary part is cleared.
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t j0 = upper ? i : 0;
+        std::int64_t j1 = upper ? n : i + 1;
+        for (std::int64_t j = j0; j < j1; ++j) {
+            cfloat v = c[i * ldc + j] * beta;
+            if (i == j)
+                v = cfloat{v.real(), 0.0f};
+            c[i * ldc + j] = v;
+        }
+    }
+    if (alpha == 0.0f || k == 0)
+        return;
+
+    const bool notrans = trans == Transpose::NoTrans;
+    // NoTrans: C += alpha * A * A^H with A n x k (row-major).
+    // ConjTrans: C += alpha * A^H * A with A k x n.
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t j0 = upper ? i : 0;
+        std::int64_t j1 = upper ? n : i + 1;
+        for (std::int64_t j = j0; j < j1; ++j) {
+            double re = 0.0, im = 0.0;
+            for (std::int64_t p = 0; p < k; ++p) {
+                cfloat x = notrans ? a[i * lda + p]
+                                   : std::conj(a[p * lda + i]);
+                cfloat y = notrans ? std::conj(a[j * lda + p])
+                                   : a[p * lda + j];
+                re += static_cast<double>(x.real()) * y.real() -
+                      static_cast<double>(x.imag()) * y.imag();
+                im += static_cast<double>(x.real()) * y.imag() +
+                      static_cast<double>(x.imag()) * y.real();
+            }
+            cfloat acc{static_cast<float>(re), static_cast<float>(im)};
+            cfloat v = c[i * ldc + j] + alpha * acc;
+            if (i == j)
+                v = cfloat{v.real(), 0.0f};
+            c[i * ldc + j] = v;
+        }
+    }
+}
+
+/** Row-major TRSM core. B is m x n; see header for semantics. */
+template <typename T>
+void
+trsmRowMajor(Side side, Uplo uplo, Transpose trans, Diag diag,
+             std::int64_t m, std::int64_t n, T alpha, const T *a,
+             std::int64_t lda, T *b, std::int64_t ldb)
+{
+    fatalIf(m < 0 || n < 0, "trsm: negative dimension");
+    if (m == 0 || n == 0)
+        return;
+    fatalIf(ldb < n, "trsm: ldb too small");
+    std::int64_t adim = side == Side::Left ? m : n;
+    fatalIf(lda < adim, "trsm: lda too small");
+
+    OpView<T> A(a, lda, trans);
+    // Transposing a triangular matrix flips which triangle holds data.
+    Uplo eff = trans == Transpose::NoTrans ? uplo : flipUplo(uplo);
+    const bool unit = diag == Diag::Unit;
+
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+            b[i * ldb + j] *= alpha;
+
+    if (side == Side::Left) {
+        // Solve op(A) * X = B row-block-wise.
+        if (eff == Uplo::Lower) {
+            for (std::int64_t i = 0; i < m; ++i) {
+                for (std::int64_t p = 0; p < i; ++p) {
+                    T f = A(i, p);
+                    if (isZero(f))
+                        continue;
+                    for (std::int64_t j = 0; j < n; ++j)
+                        b[i * ldb + j] -= f * b[p * ldb + j];
+                }
+                if (!unit) {
+                    T d = A(i, i);
+                    for (std::int64_t j = 0; j < n; ++j)
+                        b[i * ldb + j] /= d;
+                }
+            }
+        } else {
+            for (std::int64_t i = m - 1; i >= 0; --i) {
+                for (std::int64_t p = i + 1; p < m; ++p) {
+                    T f = A(i, p);
+                    if (isZero(f))
+                        continue;
+                    for (std::int64_t j = 0; j < n; ++j)
+                        b[i * ldb + j] -= f * b[p * ldb + j];
+                }
+                if (!unit) {
+                    T d = A(i, i);
+                    for (std::int64_t j = 0; j < n; ++j)
+                        b[i * ldb + j] /= d;
+                }
+            }
+        }
+    } else {
+        // Solve X * op(A) = B: each row of B is an independent solve
+        // against op(A) from the right.
+        if (eff == Uplo::Upper) {
+            for (std::int64_t r = 0; r < m; ++r) {
+                T *row = b + r * ldb;
+                for (std::int64_t j = 0; j < n; ++j) {
+                    T acc = row[j];
+                    for (std::int64_t p = 0; p < j; ++p)
+                        acc -= row[p] * A(p, j);
+                    row[j] = unit ? acc : acc / A(j, j);
+                }
+            }
+        } else {
+            for (std::int64_t r = 0; r < m; ++r) {
+                T *row = b + r * ldb;
+                for (std::int64_t j = n - 1; j >= 0; --j) {
+                    T acc = row[j];
+                    for (std::int64_t p = j + 1; p < n; ++p)
+                        acc -= row[p] * A(p, j);
+                    row[j] = unit ? acc : acc / A(j, j);
+                }
+            }
+        }
+    }
+}
+
+Side
+flipSide(Side s)
+{
+    return s == Side::Left ? Side::Right : Side::Left;
+}
+
+} // namespace
+
+void
+sgemm(Order order, Transpose transa, Transpose transb, std::int64_t m,
+      std::int64_t n, std::int64_t k, float alpha, const float *a,
+      std::int64_t lda, const float *b, std::int64_t ldb, float beta,
+      float *c, std::int64_t ldc)
+{
+    if (order == Order::RowMajor) {
+        gemmRowMajor(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                     c, ldc);
+    } else {
+        // Column-major C = op(A)op(B) is row-major C^T = op(B)^T op(A)^T.
+        gemmRowMajor(transb, transa, n, m, k, alpha, b, ldb, a, lda, beta,
+                     c, ldc);
+    }
+}
+
+void
+cgemm(Order order, Transpose transa, Transpose transb, std::int64_t m,
+      std::int64_t n, std::int64_t k, cfloat alpha, const cfloat *a,
+      std::int64_t lda, const cfloat *b, std::int64_t ldb, cfloat beta,
+      cfloat *c, std::int64_t ldc)
+{
+    if (order == Order::RowMajor) {
+        gemmRowMajor(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta,
+                     c, ldc);
+    } else {
+        gemmRowMajor(transb, transa, n, m, k, alpha, b, ldb, a, lda, beta,
+                     c, ldc);
+    }
+}
+
+void
+cherk(Order order, Uplo uplo, Transpose trans, std::int64_t n,
+      std::int64_t k, float alpha, const cfloat *a, std::int64_t lda,
+      float beta, cfloat *c, std::int64_t ldc)
+{
+    if (order == Order::RowMajor) {
+        cherkRowMajor(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+    } else {
+        // Column-major Hermitian update maps to the row-major core with
+        // the triangle and the transposition flipped (CBLAS convention).
+        Transpose t = trans == Transpose::NoTrans ? Transpose::ConjTrans
+                                                  : Transpose::NoTrans;
+        cherkRowMajor(flipUplo(uplo), t, n, k, alpha, a, lda, beta, c,
+                      ldc);
+    }
+}
+
+void
+ctrsm(Order order, Side side, Uplo uplo, Transpose trans, Diag diag,
+      std::int64_t m, std::int64_t n, cfloat alpha, const cfloat *a,
+      std::int64_t lda, cfloat *b, std::int64_t ldb)
+{
+    if (order == Order::RowMajor) {
+        trsmRowMajor(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+    } else {
+        // Column-major B is row-major B^T: flip the side and the
+        // triangle, and swap the dimensions.
+        trsmRowMajor(flipSide(side), flipUplo(uplo), trans, diag, n, m,
+                     alpha, a, lda, b, ldb);
+    }
+}
+
+void
+strsm(Order order, Side side, Uplo uplo, Transpose trans, Diag diag,
+      std::int64_t m, std::int64_t n, float alpha, const float *a,
+      std::int64_t lda, float *b, std::int64_t ldb)
+{
+    fatalIf(trans == Transpose::ConjTrans,
+            "strsm: ConjTrans is meaningless for real matrices; use Trans");
+    if (order == Order::RowMajor) {
+        trsmRowMajor(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+    } else {
+        trsmRowMajor(flipSide(side), flipUplo(uplo), trans, diag, n, m,
+                     alpha, a, lda, b, ldb);
+    }
+}
+
+} // namespace mealib::mkl

@@ -1,0 +1,184 @@
+#include "minimkl/transpose.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mealib::mkl {
+
+namespace {
+
+inline float
+conjOf(float v)
+{
+    return v;
+}
+
+inline cfloat
+conjOf(cfloat v)
+{
+    return std::conj(v);
+}
+
+constexpr std::int64_t BS = 32; //!< fits two BSxBS float tiles in L1
+
+/**
+ * Row-major core of B := alpha * op(A). Column-major callers flip
+ * rows/cols (a column-major matrix is its row-major transpose).
+ */
+template <typename T>
+void
+omatcopyRowMajor(Transpose trans, std::int64_t rows, std::int64_t cols,
+                 T alpha, const T *a, std::int64_t lda, T *b,
+                 std::int64_t ldb)
+{
+    fatalIf(rows < 0 || cols < 0, "omatcopy: negative dimension");
+    fatalIf(lda < cols, "omatcopy: lda too small");
+    const bool t = trans == Transpose::Trans ||
+                   trans == Transpose::ConjTrans;
+    const bool cj = trans == Transpose::ConjTrans;
+    fatalIf(ldb < (t ? rows : cols), "omatcopy: ldb too small");
+
+    if (!t) {
+        for (std::int64_t i = 0; i < rows; ++i) {
+            const T *ra = a + i * lda;
+            T *rb = b + i * ldb;
+            if (cj) {
+                for (std::int64_t j = 0; j < cols; ++j)
+                    rb[j] = alpha * conjOf(ra[j]);
+            } else {
+                for (std::int64_t j = 0; j < cols; ++j)
+                    rb[j] = alpha * ra[j];
+            }
+        }
+        return;
+    }
+
+    // Blocked transpose: both the read and the write stay within one
+    // BS x BS tile, so each side touches at most BS distinct rows.
+    for (std::int64_t ii = 0; ii < rows; ii += BS) {
+        std::int64_t ie = std::min(ii + BS, rows);
+        for (std::int64_t jj = 0; jj < cols; jj += BS) {
+            std::int64_t je = std::min(jj + BS, cols);
+            for (std::int64_t i = ii; i < ie; ++i) {
+                const T *ra = a + i * lda;
+                for (std::int64_t j = jj; j < je; ++j) {
+                    T v = cj ? conjOf(ra[j]) : ra[j];
+                    b[j * ldb + i] = alpha * v;
+                }
+            }
+        }
+    }
+}
+
+template <typename T>
+void
+omatcopyDispatch(Order order, Transpose trans, std::int64_t rows,
+                 std::int64_t cols, T alpha, const T *a, std::int64_t lda,
+                 T *b, std::int64_t ldb)
+{
+    if (order == Order::RowMajor)
+        omatcopyRowMajor(trans, rows, cols, alpha, a, lda, b, ldb);
+    else
+        omatcopyRowMajor(trans, cols, rows, alpha, a, lda, b, ldb);
+}
+
+/** In-place core; square NoTrans/Trans fast paths, temp otherwise. */
+template <typename T>
+void
+imatcopyDispatch(Order order, Transpose trans, std::int64_t rows,
+                 std::int64_t cols, T alpha, T *ab, std::int64_t lda,
+                 std::int64_t ldb)
+{
+    fatalIf(rows < 0 || cols < 0, "imatcopy: negative dimension");
+    const bool t = trans == Transpose::Trans ||
+                   trans == Transpose::ConjTrans;
+    const bool cj = trans == Transpose::ConjTrans;
+
+    // Storage-view dimensions (row-major walk).
+    std::int64_t srows = order == Order::RowMajor ? rows : cols;
+    std::int64_t scols = order == Order::RowMajor ? cols : rows;
+    fatalIf(lda < scols, "imatcopy: lda too small");
+
+    if (!t) {
+        fatalIf(ldb < scols, "imatcopy: ldb too small");
+        for (std::int64_t i = 0; i < srows; ++i) {
+            T *r = ab + i * lda;
+            for (std::int64_t j = 0; j < scols; ++j)
+                r[j] = alpha * (cj ? conjOf(r[j]) : r[j]);
+        }
+        // NoTrans with lda != ldb would need a row repack; MKL requires
+        // lda == ldb here and so do we.
+        fatalIf(lda != ldb, "imatcopy: NoTrans requires lda == ldb");
+        return;
+    }
+
+    if (srows == scols && lda == ldb) {
+        // Square in-place transpose by swapping across the diagonal,
+        // tile pair by tile pair.
+        std::int64_t n = srows;
+        for (std::int64_t ii = 0; ii < n; ii += BS) {
+            std::int64_t ie = std::min(ii + BS, n);
+            for (std::int64_t jj = ii; jj < n; jj += BS) {
+                std::int64_t je = std::min(jj + BS, n);
+                for (std::int64_t i = ii; i < ie; ++i) {
+                    std::int64_t j0 = std::max(jj, i);
+                    for (std::int64_t j = j0; j < je; ++j) {
+                        T x = ab[i * lda + j];
+                        T y = ab[j * lda + i];
+                        ab[i * lda + j] = alpha * (cj ? conjOf(y) : y);
+                        ab[j * lda + i] = alpha * (cj ? conjOf(x) : x);
+                    }
+                }
+            }
+        }
+        return;
+    }
+
+    // Rectangular (or re-strided) in-place transpose via a temporary.
+    std::int64_t orows = scols, ocols = srows;
+    fatalIf(ldb < ocols, "imatcopy: ldb too small for transposed shape");
+    std::vector<T> tmp(static_cast<std::size_t>(orows * ocols));
+    omatcopyRowMajor(cj ? Transpose::ConjTrans : Transpose::Trans, srows,
+                     scols, alpha, ab, lda, tmp.data(), ocols);
+    for (std::int64_t i = 0; i < orows; ++i)
+        std::copy(tmp.begin() + i * ocols, tmp.begin() + (i + 1) * ocols,
+                  ab + i * ldb);
+}
+
+} // namespace
+
+void
+somatcopy(Order order, Transpose trans, std::int64_t rows,
+          std::int64_t cols, float alpha, const float *a, std::int64_t lda,
+          float *b, std::int64_t ldb)
+{
+    omatcopyDispatch(order, trans, rows, cols, alpha, a, lda, b, ldb);
+}
+
+void
+comatcopy(Order order, Transpose trans, std::int64_t rows,
+          std::int64_t cols, cfloat alpha, const cfloat *a,
+          std::int64_t lda, cfloat *b, std::int64_t ldb)
+{
+    omatcopyDispatch(order, trans, rows, cols, alpha, a, lda, b, ldb);
+}
+
+void
+simatcopy(Order order, Transpose trans, std::int64_t rows,
+          std::int64_t cols, float alpha, float *ab, std::int64_t lda,
+          std::int64_t ldb)
+{
+    imatcopyDispatch(order, trans, rows, cols, alpha, ab, lda, ldb);
+}
+
+void
+cimatcopy(Order order, Transpose trans, std::int64_t rows,
+          std::int64_t cols, cfloat alpha, cfloat *ab, std::int64_t lda,
+          std::int64_t ldb)
+{
+    imatcopyDispatch(order, trans, rows, cols, alpha, ab, lda, ldb);
+}
+
+} // namespace mealib::mkl

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Matrix transpose / copy with scaling (MKL's mkl_?imatcopy and
+ * mkl_?omatcopy family; Table 1: RESHP). Cache-blocked kernels: the
+ * blocked walk is also the access pattern the data-reshape unit on the
+ * DRAM logic layer performs in hardware.
+ */
+
+#ifndef MEALIB_MINIMKL_TRANSPOSE_HH
+#define MEALIB_MINIMKL_TRANSPOSE_HH
+
+#include <cstdint>
+
+#include "minimkl/types.hh"
+
+namespace mealib::mkl {
+
+/**
+ * Out-of-place scaled copy/transpose: B := alpha * op(A).
+ * A is rows x cols in @p order; op per @p trans (Conj* applies to
+ * complex overloads only).
+ */
+void somatcopy(Order order, Transpose trans, std::int64_t rows,
+               std::int64_t cols, float alpha, const float *a,
+               std::int64_t lda, float *b, std::int64_t ldb);
+
+/** Complex out-of-place scaled copy/transpose. */
+void comatcopy(Order order, Transpose trans, std::int64_t rows,
+               std::int64_t cols, cfloat alpha, const cfloat *a,
+               std::int64_t lda, cfloat *b, std::int64_t ldb);
+
+/**
+ * In-place scaled transpose: AB := alpha * op(AB). Square matrices are
+ * transposed by blocked swaps; rectangular in-place transposes go through
+ * a temporary (as MKL is permitted to).
+ */
+void simatcopy(Order order, Transpose trans, std::int64_t rows,
+               std::int64_t cols, float alpha, float *ab, std::int64_t lda,
+               std::int64_t ldb);
+
+/** Complex in-place scaled transpose. */
+void cimatcopy(Order order, Transpose trans, std::int64_t rows,
+               std::int64_t cols, cfloat alpha, cfloat *ab,
+               std::int64_t lda, std::int64_t ldb);
+
+} // namespace mealib::mkl
+
+#endif // MEALIB_MINIMKL_TRANSPOSE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared types for the MiniMKL functional library.
+ *
+ * MiniMKL stands in for Intel MKL 11.2 in this reproduction: it provides
+ * functionally correct implementations behind MKL-shaped interfaces. The
+ * clean C++ API lives in mealib::mkl; C-style shims with the exact MKL /
+ * FFTW / CBLAS names live in compat.hh for the legacy-code examples.
+ */
+
+#ifndef MEALIB_MINIMKL_TYPES_HH
+#define MEALIB_MINIMKL_TYPES_HH
+
+#include <complex>
+#include <cstdint>
+
+namespace mealib::mkl {
+
+/** Single-precision complex, the element type of the STAP pipeline. */
+using cfloat = std::complex<float>;
+
+/** Matrix storage order (CBLAS-compatible values). */
+enum class Order : int
+{
+    RowMajor = 101,
+    ColMajor = 102,
+};
+
+/** Transposition request (CBLAS-compatible values). */
+enum class Transpose : int
+{
+    NoTrans = 111,
+    Trans = 112,
+    ConjTrans = 113,
+};
+
+/** Triangular side selector (CBLAS-compatible values). */
+enum class Side : int
+{
+    Left = 141,
+    Right = 142,
+};
+
+/** Upper/lower triangle selector (CBLAS-compatible values). */
+enum class Uplo : int
+{
+    Upper = 121,
+    Lower = 122,
+};
+
+/** Unit-diagonal selector (CBLAS-compatible values). */
+enum class Diag : int
+{
+    NonUnit = 131,
+    Unit = 132,
+};
+
+} // namespace mealib::mkl
+
+#endif // MEALIB_MINIMKL_TYPES_HH

@@ -1,0 +1,93 @@
+#include "runtime/alloc.hh"
+
+#include "common/logging.hh"
+
+namespace mealib::runtime {
+
+ContigAllocator::ContigAllocator(Addr base, std::uint64_t size,
+                                 std::uint64_t align)
+    : base_(base), size_(size), align_(align)
+{
+    fatalIf(size == 0, "allocator: zero-sized region");
+    fatalIf(align == 0 || (align & (align - 1)) != 0,
+            "allocator: alignment must be a power of two");
+    freeList_[base_] = size_;
+}
+
+Addr
+ContigAllocator::alloc(std::uint64_t bytes)
+{
+    fatalIf(bytes == 0, "allocator: zero-byte allocation");
+    std::uint64_t need = (bytes + align_ - 1) & ~(align_ - 1);
+
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        Addr hole = it->first;
+        std::uint64_t hole_size = it->second;
+        Addr aligned = (hole + align_ - 1) & ~(align_ - 1);
+        std::uint64_t lead = aligned - hole;
+        if (hole_size < lead + need)
+            continue;
+
+        freeList_.erase(it);
+        if (lead > 0)
+            freeList_[hole] = lead;
+        std::uint64_t tail = hole_size - lead - need;
+        if (tail > 0)
+            freeList_[aligned + need] = tail;
+
+        allocated_[aligned] = need;
+        inUse_ += need;
+        return aligned;
+    }
+    fatal("allocator: out of contiguous memory (requested ", bytes,
+          " bytes, largest hole ", largestFreeBlock(), ")");
+}
+
+void
+ContigAllocator::free(Addr addr)
+{
+    auto it = allocated_.find(addr);
+    fatalIf(it == allocated_.end(),
+            "allocator: free of unallocated address ", addr);
+    std::uint64_t sz = it->second;
+    allocated_.erase(it);
+    inUse_ -= sz;
+
+    // Insert the hole and coalesce with neighbours.
+    auto [pos, inserted] = freeList_.emplace(addr, sz);
+    panicIf(!inserted, "allocator: double-free slipped through");
+
+    // Merge with successor.
+    auto next = std::next(pos);
+    if (next != freeList_.end() && pos->first + pos->second == next->first) {
+        pos->second += next->second;
+        freeList_.erase(next);
+    }
+    // Merge with predecessor.
+    if (pos != freeList_.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->first + prev->second == pos->first) {
+            prev->second += pos->second;
+            freeList_.erase(pos);
+        }
+    }
+}
+
+std::uint64_t
+ContigAllocator::largestFreeBlock() const
+{
+    std::uint64_t best = 0;
+    for (const auto &[addr, sz] : freeList_)
+        best = best > sz ? best : sz;
+    return best;
+}
+
+std::uint64_t
+ContigAllocator::sizeOf(Addr addr) const
+{
+    auto it = allocated_.find(addr);
+    fatalIf(it == allocated_.end(), "allocator: unknown address ", addr);
+    return it->second;
+}
+
+} // namespace mealib::runtime

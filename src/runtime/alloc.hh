@@ -1,0 +1,66 @@
+/**
+ * @file
+ * First-fit allocator over a physically contiguous region.
+ *
+ * The paper's memory management runtime replaces malloc/free with
+ * allocation in a reserved, physically contiguous space (accelerators
+ * have no MMU, Sec. 3.3). This allocator manages that space: first-fit
+ * with address-ordered free list and coalescing on free.
+ */
+
+#ifndef MEALIB_RUNTIME_ALLOC_HH
+#define MEALIB_RUNTIME_ALLOC_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/units.hh"
+
+namespace mealib::runtime {
+
+/** First-fit contiguous allocator with coalescing. */
+class ContigAllocator
+{
+  public:
+    /**
+     * @param base first address managed
+     * @param size bytes managed
+     * @param align allocation alignment (power of two)
+     */
+    ContigAllocator(Addr base, std::uint64_t size,
+                    std::uint64_t align = 64);
+
+    /** Allocate @p bytes; fatal() when no hole fits (like a failed
+     * ioctl from the device driver). */
+    Addr alloc(std::uint64_t bytes);
+
+    /** Free a block returned by alloc(); fatal() on a bad address. */
+    void free(Addr addr);
+
+    /** Bytes currently handed out (including alignment padding). */
+    std::uint64_t bytesInUse() const { return inUse_; }
+
+    /** Size of the largest free hole. */
+    std::uint64_t largestFreeBlock() const;
+
+    /** Number of live allocations. */
+    std::size_t allocationCount() const { return allocated_.size(); }
+
+    /** Size of the live allocation at @p addr; fatal() if unknown. */
+    std::uint64_t sizeOf(Addr addr) const;
+
+    Addr base() const { return base_; }
+    std::uint64_t capacity() const { return size_; }
+
+  private:
+    Addr base_;
+    std::uint64_t size_;
+    std::uint64_t align_;
+    std::uint64_t inUse_ = 0;
+    std::map<Addr, std::uint64_t> freeList_;  //!< addr -> hole size
+    std::map<Addr, std::uint64_t> allocated_; //!< addr -> block size
+};
+
+} // namespace mealib::runtime
+
+#endif // MEALIB_RUNTIME_ALLOC_HH

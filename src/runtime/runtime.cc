@@ -1,0 +1,237 @@
+#include "runtime/runtime.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mealib::runtime {
+
+RuntimeConfig::RuntimeConfig()
+    : dram(dram::hmcStack()), hostCpu(host::haswell4770k()),
+      mesh(noc::mealibMesh())
+{
+}
+
+MealibRuntime::MealibRuntime(const RuntimeConfig &cfg)
+    : cfg_(cfg), mem_(std::make_unique<dram::PhysMem>(cfg.backingBytes)),
+      stack_(std::make_unique<dram::Stack>(cfg.dram)),
+      layer_(std::make_unique<accel::AcceleratorLayer>(cfg.dram, cfg.mesh,
+                                                       cfg.functional)),
+      host_(cfg.hostCpu)
+{
+    fatalIf(cfg.numStacks == 0, "runtime: need at least one stack");
+    const std::uint64_t span = cfg.backingBytes / cfg.numStacks;
+    fatalIf(cfg.commandBytes >= span,
+            "runtime: command space swallows stack 0");
+    // The driver reserves the contiguous region and splits it: command
+    // space first (monitored by the configuration unit), then one data
+    // region per memory stack (Sec. 3.3: data should be allocated on
+    // the accelerator's Local Memory Stack).
+    cmdAlloc_ =
+        std::make_unique<ContigAllocator>(0, cfg.commandBytes);
+    for (unsigned st = 0; st < cfg.numStacks; ++st) {
+        std::uint64_t base = static_cast<std::uint64_t>(st) * span +
+                             (st == 0 ? cfg.commandBytes : 0);
+        std::uint64_t size = span - (st == 0 ? cfg.commandBytes : 0);
+        dataAllocs_.push_back(
+            std::make_unique<ContigAllocator>(base, size));
+    }
+}
+
+unsigned
+MealibRuntime::stackOf(Addr paddr) const
+{
+    const std::uint64_t span = cfg_.backingBytes / cfg_.numStacks;
+    unsigned st = static_cast<unsigned>(paddr / span);
+    return st < cfg_.numStacks ? st : cfg_.numStacks - 1;
+}
+
+void *
+MealibRuntime::memAlloc(std::uint64_t bytes)
+{
+    return memAllocOn(0, bytes);
+}
+
+void *
+MealibRuntime::memAllocOn(unsigned stack, std::uint64_t bytes)
+{
+    fatalIf(stack >= cfg_.numStacks, "memAllocOn: stack ", stack,
+            " out of range (", cfg_.numStacks, " stacks)");
+    Addr p = dataAllocs_[stack]->alloc(bytes);
+    return mem_->raw(p, bytes);
+}
+
+void
+MealibRuntime::memFree(void *vptr)
+{
+    dataAllocs_[stackOf(physOf(vptr))]->free(physOf(vptr));
+}
+
+Addr
+MealibRuntime::physOf(const void *vptr) const
+{
+    const std::uint8_t *base = mem_->raw(0, 0);
+    const auto *p = static_cast<const std::uint8_t *>(vptr);
+    fatalIf(p < base || p >= base + mem_->size(),
+            "physOf: pointer is not in the mapped region");
+    return static_cast<Addr>(p - base);
+}
+
+void *
+MealibRuntime::virtOf(Addr paddr)
+{
+    return mem_->raw(paddr, 0);
+}
+
+AccPlanHandle
+MealibRuntime::accPlan(const accel::DescriptorProgram &prog)
+{
+    Plan plan;
+    plan.prog = prog;
+    std::vector<std::uint8_t> image = accel::encode(prog);
+    plan.descBytes = image.size();
+    plan.descAddr = cmdAlloc_->alloc(plan.descBytes);
+    std::memcpy(mem_->raw(plan.descAddr, plan.descBytes), image.data(),
+                image.size());
+
+    // Footprint the host may hold dirty in its caches: one iteration's
+    // input operands per COMP (flushCost clamps at LLC capacity).
+    double dirty = 0.0;
+    for (const accel::Instr &in : prog.instrs)
+        if (in.type == accel::Instr::Type::Comp)
+            dirty += in.call.inputBytes();
+    plan.dirtyBytes = static_cast<std::uint64_t>(
+        std::min(dirty, 1.0e9));
+
+    AccPlanHandle h = nextHandle_++;
+    plans_.emplace(h, std::move(plan));
+    return h;
+}
+
+unsigned
+MealibRuntime::homeStackOf(const accel::DescriptorProgram &prog) const
+{
+    for (const accel::Instr &in : prog.instrs)
+        if (in.type == accel::Instr::Type::Comp)
+            return stackOf(in.call.out.base);
+    return 0;
+}
+
+Cost
+MealibRuntime::remotePenalty(const accel::DescriptorProgram &prog,
+                             unsigned home, double *remoteBytes) const
+{
+    // Operands on Remote Memory Stacks cross the HMC-style serial
+    // links: cheaper than going through the host, but far below the
+    // internal TSV bandwidth (Sec. 3.3).
+    double bytes = 0.0;
+    accel::LoopSpec active;
+    std::uint32_t remaining = 0;
+    for (const accel::Instr &in : prog.instrs) {
+        if (in.type == accel::Instr::Type::Loop) {
+            active = in.loop;
+            remaining = in.bodyCount;
+            continue;
+        }
+        if (in.type == accel::Instr::Type::Comp) {
+            accel::LoopSpec loop = remaining ? active
+                                             : accel::LoopSpec{};
+            for (const accel::OperandTraffic &t :
+                 accel::operandTraffic(in.call, loop)) {
+                if (stackOf(t.op->base) != home)
+                    bytes += t.bytes;
+            }
+        }
+        if (remaining && --remaining == 0)
+            active = accel::LoopSpec{};
+    }
+    if (remoteBytes)
+        *remoteBytes = bytes;
+
+    Cost c;
+    if (bytes > 0.0) {
+        double link_bw = cfg_.dram.org.linkBandwidth;
+        double internal_bw = cfg_.dram.peakInternalBandwidth();
+        double slowdown = 1.0 / link_bw - 1.0 / internal_bw;
+        c.seconds = bytes * (slowdown > 0.0 ? slowdown : 0.0);
+        c.joules = bytes * cfg_.linkJPerByte;
+    }
+    return c;
+}
+
+accel::ExecStats
+MealibRuntime::accExecute(AccPlanHandle handle)
+{
+    auto it = plans_.find(handle);
+    fatalIf(it == plans_.end(), "accExecute: unknown plan handle ",
+            handle);
+    Plan &plan = it->second;
+
+    // 1. Coherence: write back dirty lines so the memory-side view is
+    //    current (wbinvd, Sec. 3.5).
+    Cost flush = host_.flushCost(plan.dirtyBytes);
+
+    // 2. Descriptor copy + START write + DONE poll over the host links.
+    double link_bw = cfg_.dram.org.linkBandwidth;
+    Cost handshake;
+    handshake.seconds = static_cast<double>(plan.descBytes) / link_bw +
+                        2.0e-6; // two link round trips
+    handshake.joules = cfg_.hostCpu.idleW * handshake.seconds;
+
+    // 3. Hand the arrays to the accelerators (exclusive ownership).
+    const std::uint8_t *img = mem_->raw(plan.descAddr, plan.descBytes);
+    accel::writeCommand(mem_->raw(plan.descAddr, plan.descBytes),
+                        plan.descBytes, accel::Command::Start);
+    accel::DescriptorProgram prog =
+        accel::decode(img, plan.descBytes);
+
+    stack_->acquire(dram::Owner::Accelerator);
+    accel::ExecStats es = layer_->execute(prog, *mem_);
+    stack_->release(dram::Owner::Accelerator);
+
+    // Inter-stack traffic for operands left on remote stacks.
+    if (cfg_.numStacks > 1) {
+        Cost remote = remotePenalty(prog, homeStackOf(prog),
+                                    &es.remoteBytes);
+        es.total += remote;
+        es.remote = remote;
+    }
+
+    accel::writeCommand(mem_->raw(plan.descAddr, plan.descBytes),
+                        plan.descBytes, accel::Command::Done);
+
+    // Fold the software-side invocation costs into the stats.
+    es.invocation += flush + handshake;
+    es.total += flush + handshake;
+
+    acct_.invocation += es.invocation;
+    Cost accel_only{es.total.seconds - es.invocation.seconds,
+                    es.total.joules - es.invocation.joules};
+    acct_.accel += accel_only;
+    for (const auto &[k, v] : es.timeByAccel.parts())
+        acct_.timeByAccel.add(k, v);
+    for (const auto &[k, v] : es.energyByAccel.parts())
+        acct_.energyByAccel.add(k, v);
+    return es;
+}
+
+void
+MealibRuntime::accDestroy(AccPlanHandle handle)
+{
+    auto it = plans_.find(handle);
+    fatalIf(it == plans_.end(), "accDestroy: unknown plan handle ",
+            handle);
+    cmdAlloc_->free(it->second.descAddr);
+    plans_.erase(it);
+}
+
+Cost
+MealibRuntime::runOnHost(const host::KernelProfile &profile)
+{
+    Cost c = host_.run(profile);
+    acct_.host += c;
+    return c;
+}
+
+} // namespace mealib::runtime

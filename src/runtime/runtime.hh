@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The MEALib runtime (paper Sec. 3.3-3.5): shared memory management over
+ * a unified physical address space, and the accelerator control routines
+ * mealib_acc_plan / mealib_acc_execute / mealib_acc_destroy.
+ *
+ * MealibRuntime stands in for the device driver + runtime library pair:
+ * the "driver" reserves a physically contiguous region split into a
+ * command space (descriptors) and a data space (operands), and "maps" it
+ * so the host touches it through virtual pointers (here: host pointers
+ * into the functional arena) while accelerators use physical addresses.
+ *
+ * Invocation costs are accounted the way the paper measures them
+ * (Sec. 5.5): cache flushing (wbinvd) before handing arrays to the
+ * accelerators, descriptor copy into the command space, and the START
+ * handshake.
+ */
+
+#ifndef MEALIB_RUNTIME_RUNTIME_HH
+#define MEALIB_RUNTIME_RUNTIME_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "accel/descriptor.hh"
+#include "accel/layer.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "dram/physmem.hh"
+#include "dram/stack.hh"
+#include "host/cpu.hh"
+#include "noc/mesh.hh"
+#include "runtime/alloc.hh"
+
+namespace mealib::runtime {
+
+/** Construction parameters of the runtime. */
+struct RuntimeConfig
+{
+    std::uint64_t backingBytes = 256_MiB; //!< functional arena size
+    std::uint64_t commandBytes = 1_MiB;   //!< command space size
+    unsigned numStacks = 1;               //!< memory stacks (Fig. 2)
+    dram::DramParams dram;                //!< each accelerated stack
+    host::CpuParams hostCpu;              //!< the host processor
+    noc::MeshParams mesh;                 //!< accelerator-layer NoC
+    bool functional = true;               //!< run kernels for real
+    /** Inter-stack SerDes link energy (HMC-style high-speed links). */
+    double linkJPerByte = 10.0_pJ;
+
+    RuntimeConfig();
+};
+
+/** Opaque plan handle (the acc_plan of Listing 2). */
+using AccPlanHandle = std::uint64_t;
+
+/** Cumulative accounting for the Fig. 13/14 style breakdowns. */
+struct RuntimeAccounting
+{
+    Cost host;        //!< host-executed (compute-bounded) work
+    Cost accel;       //!< accelerator-executed work
+    Cost invocation;  //!< flush + descriptor copy + config overheads
+    Breakdown timeByAccel;
+    Breakdown energyByAccel;
+
+    Cost
+    total() const
+    {
+        return host + accel + invocation;
+    }
+};
+
+/** The MEALib runtime instance: one host, one accelerated stack. */
+class MealibRuntime
+{
+  public:
+    explicit MealibRuntime(const RuntimeConfig &cfg);
+
+    // --- memory management runtime routines (Sec. 3.5) ----------------
+
+    /** mealib_mem_alloc: physically contiguous data-space allocation on
+     * stack 0. @return the host-visible (virtual) pointer. */
+    void *memAlloc(std::uint64_t bytes);
+
+    /**
+     * mealib_mem_alloc with an explicit memory stack (paper Sec. 3.3/
+     * 3.5: "the memory stack used for allocation can be explicitly
+     * specified"). Data an accelerator processes should live on its
+     * Local Memory Stack; operands left on Remote Memory Stacks cross
+     * the inter-stack links and pay bandwidth/energy penalties.
+     */
+    void *memAllocOn(unsigned stack, std::uint64_t bytes);
+
+    /** Stack that owns physical address @p paddr. */
+    unsigned stackOf(Addr paddr) const;
+
+    /** Number of configured memory stacks. */
+    unsigned numStacks() const { return cfg_.numStacks; }
+
+    /** mealib_mem_free. */
+    void memFree(void *vptr);
+
+    /** Virtual-to-physical translation (the runtime does this when
+     * filling descriptor parameter blocks). */
+    Addr physOf(const void *vptr) const;
+
+    /** Physical-to-virtual: host pointer for an accelerator address. */
+    void *virtOf(Addr paddr);
+
+    // --- accelerator control runtime routines (Listing 2) -------------
+
+    /** mealib_acc_plan: build the descriptor in the command space. */
+    AccPlanHandle accPlan(const accel::DescriptorProgram &prog);
+
+    /** mealib_acc_execute: flush, write START, run, poll DONE.
+     * @return the cost of this invocation (also accumulated). */
+    accel::ExecStats accExecute(AccPlanHandle plan);
+
+    /** mealib_acc_destroy. */
+    void accDestroy(AccPlanHandle plan);
+
+    // --- host-side accounting ------------------------------------------
+
+    /** Record compute-bounded work the host executed natively. */
+    Cost runOnHost(const host::KernelProfile &profile);
+
+    /** Accumulated cost ledger. */
+    const RuntimeAccounting &accounting() const { return acct_; }
+
+    /** Reset the cost ledger (not the memory state). */
+    void resetAccounting() { acct_ = RuntimeAccounting{}; }
+
+    dram::PhysMem &mem() { return *mem_; }
+    const host::CpuModel &hostModel() const { return host_; }
+    accel::AcceleratorLayer &layer() { return *layer_; }
+    dram::Stack &stack() { return *stack_; }
+    ContigAllocator &dataAllocator() { return *dataAllocs_[0]; }
+
+  private:
+    struct Plan
+    {
+        accel::DescriptorProgram prog;
+        Addr descAddr = 0;          //!< command-space location
+        std::uint64_t descBytes = 0;
+        std::uint64_t dirtyBytes = 0; //!< footprint to flush
+    };
+
+    RuntimeConfig cfg_;
+    std::unique_ptr<dram::PhysMem> mem_;
+    std::unique_ptr<dram::Stack> stack_;
+    std::unique_ptr<accel::AcceleratorLayer> layer_;
+    host::CpuModel host_;
+    /** Remote-operand link cost for a program homed on @p home. */
+    Cost remotePenalty(const accel::DescriptorProgram &prog,
+                       unsigned home, double *remoteBytes) const;
+
+    /** Home stack of a program: where its first output operand lives. */
+    unsigned homeStackOf(const accel::DescriptorProgram &prog) const;
+
+    std::unique_ptr<ContigAllocator> cmdAlloc_;
+    std::vector<std::unique_ptr<ContigAllocator>> dataAllocs_;
+    std::map<AccPlanHandle, Plan> plans_;
+    AccPlanHandle nextHandle_ = 1;
+    RuntimeAccounting acct_;
+};
+
+} // namespace mealib::runtime
+
+#endif // MEALIB_RUNTIME_RUNTIME_HH

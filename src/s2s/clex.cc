@@ -1,0 +1,142 @@
+#include "s2s/clex.hh"
+
+#include <cctype>
+
+namespace mealib::s2s {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators we keep intact (longest first). */
+const char *kPuncts[] = {
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+};
+
+} // namespace
+
+std::vector<CTok>
+clex(const std::string &src)
+{
+    std::vector<CTok> out;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    unsigned line = 1;
+
+    auto push = [&](CTokKind kind, std::size_t begin, std::size_t end) {
+        CTok t;
+        t.kind = kind;
+        t.text = src.substr(begin, end - begin);
+        t.begin = begin;
+        t.end = end;
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+        // Preprocessor line (with backslash continuations).
+        if (c == '#') {
+            std::size_t start = i;
+            while (i < n && src[i] != '\n') {
+                if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                ++i;
+            }
+            push(CTokKind::Pragma, start, i);
+            continue;
+        }
+        if (identStart(c)) {
+            std::size_t start = i;
+            while (i < n && identCont(src[i]))
+                ++i;
+            push(CTokKind::Ident, start, i);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            std::size_t start = i;
+            while (i < n && (identCont(src[i]) || src[i] == '.' ||
+                             ((src[i] == '+' || src[i] == '-') && i > 0 &&
+                              (src[i - 1] == 'e' || src[i - 1] == 'E'))))
+                ++i;
+            push(CTokKind::Number, start, i);
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t start = i;
+            ++i;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\')
+                    ++i;
+                if (i < n && src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = i < n ? i + 1 : n;
+            push(quote == '"' ? CTokKind::String : CTokKind::Char, start,
+                 i);
+            continue;
+        }
+        // Punctuator: try the multi-char table first.
+        bool matched = false;
+        for (const char *p : kPuncts) {
+            std::size_t len = std::char_traits<char>::length(p);
+            if (src.compare(i, len, p) == 0) {
+                push(CTokKind::Punct, i, i + len);
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            push(CTokKind::Punct, i, i + 1);
+            ++i;
+        }
+    }
+    push(CTokKind::End, n, n);
+    return out;
+}
+
+} // namespace mealib::s2s

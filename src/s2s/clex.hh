@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tokenizer for the C subset the source-to-source compiler understands.
+ *
+ * The compiler does not need a full C frontend: it identifies library
+ * calls, OpenMP-annotated for-nests and allocation calls (paper
+ * Sec. 3.4), all of which are recognizable at the token level. Comments
+ * are skipped; preprocessor lines are kept as single tokens so that
+ * `#pragma omp parallel for` annotations survive.
+ */
+
+#ifndef MEALIB_S2S_CLEX_HH
+#define MEALIB_S2S_CLEX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mealib::s2s {
+
+/** Token categories for the C subset. */
+enum class CTokKind
+{
+    Ident,    //!< identifiers and keywords
+    Number,   //!< integer or floating literal (kept as text)
+    String,   //!< "..." literal including quotes
+    Char,     //!< '...' literal including quotes
+    Punct,    //!< one operator/punctuator (possibly multi-char)
+    Pragma,   //!< a full preprocessor line starting with '#'
+    End,
+};
+
+/** One token plus its span in the original source. */
+struct CTok
+{
+    CTokKind kind = CTokKind::End;
+    std::string text;
+    std::size_t begin = 0; //!< byte offset of first char
+    std::size_t end = 0;   //!< one past last char
+    unsigned line = 0;
+
+    bool
+    is(const char *t) const
+    {
+        return text == t;
+    }
+};
+
+/** Tokenize C-like source. Never fails: unknown bytes become Punct. */
+std::vector<CTok> clex(const std::string &source);
+
+} // namespace mealib::s2s
+
+#endif // MEALIB_S2S_CLEX_HH

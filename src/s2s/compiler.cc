@@ -1,0 +1,858 @@
+#include "s2s/compiler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "s2s/clex.hh"
+
+namespace mealib::s2s {
+
+namespace {
+
+/** One pending source rewrite. */
+struct Edit
+{
+    std::size_t begin;
+    std::size_t end;
+    std::string text;
+};
+
+/** One call argument with its source span. */
+struct Arg
+{
+    std::string text;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/** A recognized fftwf_plan_guru_dft site. */
+struct FftwPlanSite
+{
+    std::string var;
+    long rank = -1; //!< -1 when not a literal
+    std::string inSym;
+    std::string outSym;
+    std::string dir; //!< "-1", "1" or a placeholder
+    std::size_t stmtBegin = 0;
+    std::size_t stmtEnd = 0;
+    unsigned line = 0;
+};
+
+/** A recognized fftwf_execute site. */
+struct FftwExecSite
+{
+    std::string var;
+    std::size_t stmtBegin = 0;
+    std::size_t stmtEnd = 0;
+    unsigned line = 0;
+};
+
+/** One emitted accelerator-plan site, ordered by source position. */
+struct PlanSite
+{
+    std::size_t pos = 0;
+    std::string tdl; //!< this site's TDL item(s)
+};
+
+bool
+isTypeWord(const std::string &s)
+{
+    return s == "const" || s == "float" || s == "double" || s == "int" ||
+           s == "void" || s == "char" || s == "long" || s == "short" ||
+           s == "unsigned" || s == "signed" || s == "struct" ||
+           s == "sizeof" || s == "complex" || s == "fftwf_complex";
+}
+
+class Translator
+{
+  public:
+    explicit Translator(const std::string &src)
+        : src_(src), toks_(clex(src))
+    {
+    }
+
+    TranslationResult
+    run()
+    {
+        scan();
+        groupFftw();
+        finalize();
+        return std::move(res_);
+    }
+
+  private:
+    // ----- token utilities ---------------------------------------------
+
+    const CTok &
+    tok(std::size_t i) const
+    {
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+
+    /** Index of the ')' matching the '(' at @p open; or npos. */
+    std::size_t
+    matchParen(std::size_t open) const
+    {
+        int depth = 0;
+        for (std::size_t i = open; i < toks_.size(); ++i) {
+            if (tok(i).is("("))
+                ++depth;
+            else if (tok(i).is(")") && --depth == 0)
+                return i;
+        }
+        return std::string::npos;
+    }
+
+    /** Split the tokens between '(' and ')' into depth-0 arguments. */
+    std::vector<Arg>
+    callArgs(std::size_t open, std::size_t close) const
+    {
+        std::vector<Arg> args;
+        int depth = 0;
+        std::size_t start = open + 1;
+        for (std::size_t i = open + 1; i <= close; ++i) {
+            const CTok &t = tok(i);
+            if (t.is("(") || t.is("["))
+                ++depth;
+            else if (t.is(")") || t.is("]")) {
+                if (t.is(")") && i == close && depth == 0) {
+                    if (start < i)
+                        args.push_back(makeArg(start, i));
+                    break;
+                }
+                --depth;
+            } else if (t.is(",") && depth == 0) {
+                args.push_back(makeArg(start, i));
+                start = i + 1;
+            }
+        }
+        return args;
+    }
+
+    Arg
+    makeArg(std::size_t first, std::size_t onePast) const
+    {
+        Arg a;
+        a.begin = tok(first).begin;
+        a.end = tok(onePast - 1).end;
+        a.text = src_.substr(a.begin, a.end - a.begin);
+        return a;
+    }
+
+    /** Token index of the terminating ';' of the statement at @p i. */
+    std::size_t
+    stmtEndTok(std::size_t i) const
+    {
+        int depth = 0;
+        for (std::size_t j = i; j < toks_.size(); ++j) {
+            if (tok(j).is("(") || tok(j).is("["))
+                ++depth;
+            else if (tok(j).is(")") || tok(j).is("]"))
+                --depth;
+            else if (tok(j).is(";") && depth == 0)
+                return j;
+        }
+        return toks_.size() - 1;
+    }
+
+    /** Byte offset where the statement containing token @p i begins. */
+    std::size_t
+    stmtBeginByte(std::size_t i) const
+    {
+        for (std::size_t j = i; j-- > 0;) {
+            const CTok &t = toks_[j];
+            if (t.is(";") || t.is("{") || t.is("}") ||
+                t.kind == CTokKind::Pragma)
+                return t.end;
+        }
+        return 0;
+    }
+
+    /** First plausible buffer identifier inside an argument span. */
+    std::string
+    firstIdent(std::size_t first, std::size_t onePast) const
+    {
+        for (std::size_t i = first; i < onePast; ++i) {
+            const CTok &t = tok(i);
+            if (t.kind == CTokKind::Ident && !isTypeWord(t.text))
+                return t.text;
+        }
+        return "";
+    }
+
+    /** Arg token range [first, onePast) for arg index @p k of a call. */
+    std::pair<std::size_t, std::size_t>
+    argTokens(std::size_t open, std::size_t close, std::size_t k) const
+    {
+        int depth = 0;
+        std::size_t idx = 0, start = open + 1;
+        for (std::size_t i = open + 1; i <= close; ++i) {
+            const CTok &t = tok(i);
+            if (t.is("(") || t.is("["))
+                ++depth;
+            else if (t.is(")") || t.is("]")) {
+                if (t.is(")") && i == close && depth == 0) {
+                    if (idx == k)
+                        return {start, i};
+                    break;
+                }
+                --depth;
+            } else if (t.is(",") && depth == 0) {
+                if (idx == k)
+                    return {start, i};
+                ++idx;
+                start = i + 1;
+            }
+        }
+        return {0, 0};
+    }
+
+    // ----- value helpers -----------------------------------------------
+
+    /** Literal text, `$ident` placeholder, or a fresh placeholder. */
+    std::string
+    valueOf(const Arg &a, const char *what, unsigned line)
+    {
+        // Single literal?
+        bool number = !a.text.empty() &&
+                      (std::isdigit(static_cast<unsigned char>(
+                           a.text[0])) ||
+                       (a.text[0] == '-' && a.text.size() > 1));
+        if (number && a.text.find_first_of(" \t(") == std::string::npos)
+            return a.text;
+        // Single identifier?
+        bool ident = !a.text.empty() &&
+                     (std::isalpha(static_cast<unsigned char>(
+                          a.text[0])) ||
+                      a.text[0] == '_');
+        if (ident &&
+            a.text.find_first_not_of("abcdefghijklmnopqrstuvwxyz"
+                                     "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                                     "0123456789_") == std::string::npos)
+            return "$" + a.text;
+        std::string ph = "$" + std::string(what) + "_l" +
+                         std::to_string(line);
+        note(line, std::string("unresolved ") + what + " expression '" +
+                       a.text + "' -> placeholder " + ph);
+        return ph;
+    }
+
+    void
+    note(unsigned line, std::string msg)
+    {
+        res_.notes.push_back({line, std::move(msg)});
+    }
+
+    std::string
+    bufferSym(std::size_t open, std::size_t close, std::size_t k,
+              unsigned line, const char *what)
+    {
+        auto [f, e] = argTokens(open, close, k);
+        std::string id = f == 0 && e == 0 ? "" : firstIdent(f, e);
+        if (id.empty()) {
+            std::string ph = std::string(what) + "_l" +
+                             std::to_string(line);
+            note(line, std::string("no identifiable buffer for ") + what);
+            return "$" + ph;
+        }
+        return "$" + id;
+    }
+
+    // ----- main scan -----------------------------------------------------
+
+    void
+    scan()
+    {
+        for (std::size_t i = 0; i < toks_.size(); ++i) {
+            const CTok &t = toks_[i];
+            if (t.kind == CTokKind::Pragma) {
+                if (t.text.find("omp") != std::string::npos &&
+                    t.text.find("for") != std::string::npos) {
+                    std::size_t after = tryOmpNest(i);
+                    if (after != std::string::npos) {
+                        // skip tokens inside the consumed nest
+                        while (i + 1 < toks_.size() &&
+                               toks_[i + 1].begin < after)
+                            ++i;
+                    }
+                }
+                continue;
+            }
+            if (t.kind != CTokKind::Ident || !tok(i + 1).is("("))
+                continue;
+
+            if (t.text == "malloc" || t.text == "free") {
+                edits_.push_back({t.begin, t.end,
+                                  t.text == "malloc"
+                                      ? "mealib_mem_alloc"
+                                      : "mealib_mem_free"});
+                res_.allocRewrites++;
+            } else if (t.text == "fftwf_plan_guru_dft") {
+                recordFftwPlan(i);
+            } else if (t.text == "fftwf_execute") {
+                recordFftwExec(i);
+            } else if (t.text == "fftwf_destroy_plan") {
+                commentStatement(i, "plan destroyed by MEALib runtime");
+            } else if (isBareAccelCall(t.text)) {
+                handleBareCall(i);
+            }
+        }
+    }
+
+    static bool
+    isBareAccelCall(const std::string &name)
+    {
+        return name == "cblas_saxpy" || name == "cblas_sdot" ||
+               name == "cblas_sgemv" || name == "mkl_scsrgemv" ||
+               name == "mkl_simatcopy" || name == "dfsInterpolate1D" ||
+               name == "cblas_cdotc_sub" || name == "cblas_caxpy";
+    }
+
+    void
+    commentStatement(std::size_t i, const char *why)
+    {
+        std::size_t b = stmtBeginByte(i);
+        std::size_t e = tok(stmtEndTok(i)).end;
+        edits_.push_back({b, e, "/* MEALib (" + std::string(why) +
+                                    "): " + src_.substr(b, e - b) +
+                                    " */"});
+    }
+
+    // ----- fftw handling -------------------------------------------------
+
+    void
+    recordFftwPlan(std::size_t i)
+    {
+        std::size_t open = i + 1;
+        std::size_t close = matchParen(open);
+        if (close == std::string::npos)
+            return;
+        auto args = callArgs(open, close);
+        if (args.size() < 8) {
+            note(tok(i).line, "fftwf_plan_guru_dft with unexpected "
+                              "argument count; skipped");
+            return;
+        }
+        FftwPlanSite p;
+        p.line = tok(i).line;
+        // plan variable: identifier before the '=' preceding the call
+        for (std::size_t j = i; j-- > 0;) {
+            if (toks_[j].is("=") && j > 0 &&
+                toks_[j - 1].kind == CTokKind::Ident) {
+                p.var = toks_[j - 1].text;
+                break;
+            }
+            if (toks_[j].is(";") || toks_[j].is("{") || toks_[j].is("}"))
+                break;
+        }
+        if (p.var.empty()) {
+            note(p.line, "fftwf_plan_guru_dft result not assigned to a "
+                         "variable; skipped");
+            return;
+        }
+        char *end = nullptr;
+        long rank = std::strtol(args[0].text.c_str(), &end, 10);
+        p.rank = (end && *end == '\0') ? rank : -1;
+        {
+            auto [f4, e4] = argTokens(open, close, 4);
+            p.inSym = firstIdent(f4, e4);
+            auto [f5, e5] = argTokens(open, close, 5);
+            p.outSym = firstIdent(f5, e5);
+        }
+        if (args[6].text == "FFTW_FORWARD")
+            p.dir = "-1";
+        else if (args[6].text == "FFTW_BACKWARD")
+            p.dir = "1";
+        else
+            p.dir = valueOf(args[6], "dir", p.line);
+        p.stmtBegin = stmtBeginByte(i);
+        p.stmtEnd = tok(stmtEndTok(i)).end;
+        plans_.push_back(std::move(p));
+    }
+
+    void
+    recordFftwExec(std::size_t i)
+    {
+        std::size_t open = i + 1;
+        std::size_t close = matchParen(open);
+        if (close == std::string::npos)
+            return;
+        FftwExecSite e;
+        e.var = firstIdent(open + 1, close);
+        e.line = tok(i).line;
+        e.stmtBegin = stmtBeginByte(i);
+        e.stmtEnd = tok(stmtEndTok(i)).end;
+        execs_.push_back(std::move(e));
+    }
+
+    const FftwPlanSite *
+    planByVar(const std::string &var) const
+    {
+        for (const auto &p : plans_)
+            if (p.var == var)
+                return &p;
+        return nullptr;
+    }
+
+    /** Group consecutive executes whose buffers connect into passes. */
+    void
+    groupFftw()
+    {
+        for (std::size_t i = 0; i < execs_.size();) {
+            const FftwPlanSite *first = planByVar(execs_[i].var);
+            if (!first) {
+                note(execs_[i].line,
+                     "fftwf_execute of unknown plan '" + execs_[i].var +
+                         "'; left untouched");
+                ++i;
+                continue;
+            }
+            std::vector<const FftwPlanSite *> chain{first};
+            std::size_t j = i + 1;
+            while (j < execs_.size()) {
+                const FftwPlanSite *next = planByVar(execs_[j].var);
+                if (!next || next->inSym.empty() ||
+                    next->inSym != chain.back()->outSym)
+                    break;
+                chain.push_back(next);
+                ++j;
+            }
+            emitFftwPass(chain, execs_[i], i, j);
+            i = j;
+        }
+        for (const auto &p : plans_) {
+            edits_.push_back(
+                {p.stmtBegin, p.stmtEnd,
+                 "/* MEALib (plan absorbed into TDL): " +
+                     src_.substr(p.stmtBegin, p.stmtEnd - p.stmtBegin) +
+                     " */"});
+        }
+    }
+
+    void
+    emitFftwPass(const std::vector<const FftwPlanSite *> &chain,
+                 const FftwExecSite &firstExec, std::size_t execFrom,
+                 std::size_t execTo)
+    {
+        unsigned id = ++planCounter_;
+        std::ostringstream tdl;
+        tdl << "PASS(in=$" << chain.front()->inSym << ", out=$"
+            << chain.back()->outSym << ") {";
+        for (const FftwPlanSite *p : chain) {
+            bool copy = p->rank == 0;
+            std::string file =
+                (copy ? "reshape" : "fft") + std::to_string(id) + "_" +
+                p->var + ".para";
+            tdl << " COMP(acc=" << (copy ? "RESHP" : "FFT")
+                << ", params=\"" << file << "\")";
+
+            std::ostringstream pf;
+            if (copy) {
+                pf << "# generated from rank-0 guru plan '" << p->var
+                   << "' (data copy)\n";
+                pf << "m = $" << p->var << "_rows\n";
+                pf << "n = $" << p->var << "_cols\n";
+                pf << "complex = true\n";
+            } else {
+                pf << "# generated from guru plan '" << p->var << "'\n";
+                pf << "n = $" << p->var << "_n\n";
+                pf << "m = $" << p->var << "_batch\n";
+                pf << "complex = true\n";
+                pf << "dir = " << p->dir << "\n";
+            }
+            pf << "in0 = $" << p->inSym << "\n";
+            pf << "out = $" << p->outSym << "\n";
+            res_.paramFiles[file] = pf.str();
+            res_.callsAbsorbed++;
+        }
+        tdl << " }";
+        sites_.push_back({firstExec.stmtBegin, tdl.str()});
+        res_.plansEmitted++;
+
+        // Rewrite the first execute into the runtime sequence; comment
+        // out the rest of the chain's executes.
+        edits_.push_back(
+            {firstExec.stmtBegin, firstExec.stmtEnd,
+             runtimeBlock(id, "$" + chain.front()->inSym,
+                          "$" + chain.back()->outSym, tdl.str())});
+        for (std::size_t k = execFrom + 1; k < execTo; ++k) {
+            edits_.push_back({execs_[k].stmtBegin, execs_[k].stmtEnd,
+                              "/* MEALib (chained into plan " +
+                                  std::to_string(id) + "): " +
+                                  src_.substr(execs_[k].stmtBegin,
+                                              execs_[k].stmtEnd -
+                                                  execs_[k].stmtBegin) +
+                                  " */"});
+        }
+    }
+
+    std::string
+    runtimeBlock(unsigned id, const std::string &inSym,
+                 const std::string &outSym, const std::string &tdl)
+    {
+        std::string esc;
+        for (char c : tdl) {
+            if (c == '"')
+                esc += "\\\"";
+            else
+                esc += c;
+        }
+        std::ostringstream os;
+        os << "{ acc_plan __mea_p" << id << " = mealib_acc_plan(\"" << esc
+           << "\", (void *)" << (inSym[0] == '$' ? inSym.substr(1) : inSym)
+           << ", 0, (void *)"
+           << (outSym[0] == '$' ? outSym.substr(1) : outSym)
+           << ", 0); mealib_acc_execute(__mea_p" << id
+           << "); mealib_acc_destroy(__mea_p" << id << "); }";
+        return os.str();
+    }
+
+    // ----- OpenMP loop nests ----------------------------------------------
+
+    struct LoopDim
+    {
+        std::string var;
+        std::string bound; //!< literal text or $symbol
+    };
+
+    /**
+     * Try to consume `#pragma omp parallel for` + for-nest + accelerable
+     * call at token @p pragmaIdx. @return byte offset one past the nest
+     * on success, npos on failure (nothing recorded).
+     */
+    std::size_t
+    tryOmpNest(std::size_t pragmaIdx)
+    {
+        std::size_t i = pragmaIdx + 1;
+        std::vector<LoopDim> dims;
+        unsigned braces = 0;
+        unsigned line = tok(pragmaIdx).line;
+
+        while (dims.size() < 4 && tok(i).is("for")) {
+            std::size_t open = i + 1;
+            if (!tok(open).is("("))
+                return std::string::npos;
+            std::size_t close = matchParen(open);
+            if (close == std::string::npos)
+                return std::string::npos;
+
+            LoopDim d;
+            // init: ident '=' ... ';'
+            std::size_t j = open + 1;
+            while (j < close && isTypeWord(tok(j).text))
+                ++j;
+            if (tok(j).kind != CTokKind::Ident || !tok(j + 1).is("="))
+                return std::string::npos;
+            d.var = tok(j).text;
+            while (j < close && !tok(j).is(";"))
+                ++j;
+            // cond: ident '<' bound ';'
+            ++j;
+            if (tok(j).kind != CTokKind::Ident || tok(j).text != d.var ||
+                !tok(j + 1).is("<"))
+                return std::string::npos;
+            std::size_t bound_start = j + 2;
+            std::size_t k = bound_start;
+            while (k < close && !tok(k).is(";"))
+                ++k;
+            Arg bound = makeArg(bound_start, k);
+            d.bound = valueOf(bound, "bound", tok(j).line);
+            dims.push_back(d);
+
+            i = close + 1;
+            if (tok(i).is("{")) {
+                ++braces;
+                ++i;
+            }
+        }
+        if (dims.empty())
+            return std::string::npos;
+
+        // Innermost statement must be one accelerable call.
+        if (tok(i).kind != CTokKind::Ident ||
+            !isBareAccelCall(tok(i).text) || !tok(i + 1).is("("))
+            return std::string::npos;
+        std::size_t call_tok = i;
+        std::size_t end_tok = stmtEndTok(i);
+
+        // Swallow the closing braces of the nest.
+        std::size_t last = end_tok;
+        unsigned remaining = braces;
+        while (remaining > 0 && tok(last + 1).is("}")) {
+            ++last;
+            --remaining;
+        }
+        if (remaining != 0)
+            return std::string::npos;
+
+        std::size_t begin = tok(pragmaIdx).begin;
+        std::size_t end = tok(last).end;
+
+        emitLoopedCall(call_tok, dims, begin, end, line);
+        return end;
+    }
+
+    /** TDL + params + rewrite for a (possibly looped) library call. */
+    void
+    emitLoopedCall(std::size_t callTok, const std::vector<LoopDim> &dims,
+                   std::size_t begin, std::size_t end, unsigned line)
+    {
+        std::size_t open = callTok + 1;
+        std::size_t close = matchParen(open);
+        if (close == std::string::npos)
+            return;
+        auto args = callArgs(open, close);
+        const std::string &name = tok(callTok).text;
+
+        std::string acc;
+        std::ostringstream pf;
+        std::string in_sym = "$in", out_sym = "$out";
+
+        auto strideLine = [&](const char *op, const std::string &arr) {
+            pf << op << ".stride = ";
+            for (unsigned d = 0; d < 4; ++d) {
+                if (d < dims.size())
+                    pf << "$" << arr << "_stride" << d;
+                else
+                    pf << 0;
+                pf << (d < 3 ? ", " : "\n");
+            }
+            if (!dims.empty())
+                note(line, "per-iteration strides of '" + arr +
+                               "' resolved at runtime");
+        };
+
+        if (name == "cblas_cdotc_sub" && args.size() == 6) {
+            acc = "DOT";
+            pf << "n = " << valueOf(args[0], "n", line) << "\n";
+            pf << "complex = true\nconj = true\n";
+            pf << "inc0 = " << valueOf(args[2], "incx", line) << "\n";
+            pf << "inc1 = " << valueOf(args[4], "incy", line) << "\n";
+            std::string x = bufferSym(open, close, 1, line, "x");
+            std::string y = bufferSym(open, close, 3, line, "y");
+            std::string r = bufferSym(open, close, 5, line, "result");
+            pf << "in0 = " << x << "\n";
+            strideLine("in0", x.substr(1));
+            pf << "in1 = " << y << "\n";
+            strideLine("in1", y.substr(1));
+            pf << "out = " << r << "\n";
+            strideLine("out", r.substr(1));
+            in_sym = x;
+            out_sym = r;
+        } else if ((name == "cblas_saxpy" || name == "cblas_caxpy") &&
+                   args.size() == 6) {
+            acc = "AXPY";
+            pf << "n = " << valueOf(args[0], "n", line) << "\n";
+            if (name == "cblas_caxpy") {
+                pf << "complex = true\n";
+            } else {
+                pf << "alpha = " << valueOf(args[1], "alpha", line)
+                   << "\n";
+                // cblas_saxpy is y := a*x + y; the AXPY accelerator
+                // computes the axpby superset, so pin beta to 1.
+                pf << "beta = 1\n";
+            }
+            pf << "inc0 = " << valueOf(args[3], "incx", line) << "\n";
+            pf << "inc1 = " << valueOf(args[5], "incy", line) << "\n";
+            std::string x = bufferSym(open, close, 2, line, "x");
+            std::string y = bufferSym(open, close, 4, line, "y");
+            pf << "in0 = " << x << "\n";
+            pf << "out = " << y << "\n";
+            if (!dims.empty()) {
+                strideLine("in0", x.substr(1));
+                strideLine("out", y.substr(1));
+            }
+            in_sym = x;
+            out_sym = y;
+        } else if (name == "cblas_sdot" && args.size() == 5) {
+            acc = "DOT";
+            pf << "n = " << valueOf(args[0], "n", line) << "\n";
+            pf << "inc0 = " << valueOf(args[2], "incx", line) << "\n";
+            pf << "inc1 = " << valueOf(args[4], "incy", line) << "\n";
+            std::string x = bufferSym(open, close, 1, line, "x");
+            std::string y = bufferSym(open, close, 3, line, "y");
+            pf << "in0 = " << x << "\nin1 = " << y << "\n";
+            pf << "out = $" << "sdot_result_l" << line << "\n";
+            note(line, "cblas_sdot returns by value; result placeholder "
+                       "bound at runtime");
+            in_sym = x;
+            out_sym = y;
+        } else if (name == "cblas_sgemv" && args.size() == 12) {
+            acc = "GEMV";
+            pf << "m = " << valueOf(args[2], "m", line) << "\n";
+            pf << "n = " << valueOf(args[3], "n", line) << "\n";
+            pf << "alpha = " << valueOf(args[4], "alpha", line) << "\n";
+            pf << "beta = " << valueOf(args[9], "beta", line) << "\n";
+            std::string a = bufferSym(open, close, 5, line, "a");
+            std::string x = bufferSym(open, close, 7, line, "x");
+            std::string y = bufferSym(open, close, 10, line, "y");
+            pf << "in0 = " << a << "\nin1 = " << x << "\nout = " << y
+               << "\n";
+            in_sym = a;
+            out_sym = y;
+        } else if (name == "mkl_scsrgemv" && args.size() == 7) {
+            acc = "SPMV";
+            pf << "m = $spmv_rows_l" << line << "\n";
+            pf << "n = $spmv_cols_l" << line << "\n";
+            pf << "k = $spmv_nnz_l" << line << "\n";
+            note(line, "mkl_scsrgemv dimensions bound at runtime");
+            std::string ia = bufferSym(open, close, 3, line, "ia");
+            std::string ja = bufferSym(open, close, 4, line, "ja");
+            std::string a = bufferSym(open, close, 2, line, "a");
+            std::string x = bufferSym(open, close, 5, line, "x");
+            std::string y = bufferSym(open, close, 6, line, "y");
+            pf << "in0 = " << ia << "\nin1 = " << ja << "\nin2 = " << a
+               << "\nin3 = " << x << "\nout = " << y << "\n";
+            in_sym = a;
+            out_sym = y;
+        } else if (name == "mkl_simatcopy" && args.size() == 8) {
+            acc = "RESHP";
+            pf << "m = " << valueOf(args[2], "rows", line) << "\n";
+            pf << "n = " << valueOf(args[3], "cols", line) << "\n";
+            pf << "alpha = " << valueOf(args[4], "alpha", line) << "\n";
+            std::string ab = bufferSym(open, close, 5, line, "ab");
+            pf << "in0 = " << ab << "\nout = " << ab << "\n";
+            in_sym = ab;
+            out_sym = ab;
+        } else if (name == "dfsInterpolate1D" && args.size() == 4) {
+            acc = "RESMP";
+            pf << "n = " << valueOf(args[1], "nx", line) << "\n";
+            pf << "m = " << valueOf(args[3], "nsite", line) << "\n";
+            std::string x = bufferSym(open, close, 0, line, "x");
+            std::string site = bufferSym(open, close, 2, line, "site");
+            pf << "in0 = " << x << "\nout = " << site << "\n";
+            in_sym = x;
+            out_sym = site;
+        } else {
+            note(line, "call '" + name +
+                           "' has unexpected arity; left untouched");
+            return;
+        }
+
+        unsigned id = ++planCounter_;
+        std::string file = acc;
+        std::transform(file.begin(), file.end(), file.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(std::tolower(c));
+                       });
+        file += std::to_string(id) + ".para";
+        res_.paramFiles[file] = pf.str();
+
+        std::ostringstream tdl;
+        if (!dims.empty()) {
+            tdl << "LOOP(dims=\"";
+            for (std::size_t d = 0; d < dims.size(); ++d)
+                tdl << dims[d].bound << (d + 1 < dims.size() ? "x" : "");
+            tdl << "\") { ";
+        }
+        tdl << "PASS(in=" << in_sym << ", out=" << out_sym << ") { "
+            << "COMP(acc=" << acc << ", params=\"" << file << "\") }";
+        if (!dims.empty())
+            tdl << " }";
+
+        std::uint64_t folded = 1;
+        for (const LoopDim &d : dims) {
+            char *e = nullptr;
+            long v = std::strtol(d.bound.c_str(), &e, 10);
+            folded *= (e && *e == '\0' && v > 0)
+                          ? static_cast<std::uint64_t>(v)
+                          : 1;
+        }
+        res_.callsAbsorbed += folded;
+        res_.plansEmitted++;
+        sites_.push_back({begin, tdl.str()});
+        edits_.push_back(
+            {begin, end, runtimeBlock(id, in_sym, out_sym, tdl.str())});
+    }
+
+    /** Bare accelerable call outside any recognized loop nest. */
+    void
+    handleBareCall(std::size_t i)
+    {
+        std::size_t begin = stmtBeginByte(i);
+        std::size_t end = tok(stmtEndTok(i)).end;
+        emitLoopedCall(i, {}, begin, end, tok(i).line);
+    }
+
+    // ----- output ---------------------------------------------------------
+
+    void
+    finalize()
+    {
+        // Apply edits back to front, dropping any edit nested inside an
+        // earlier (larger) one.
+        std::sort(edits_.begin(), edits_.end(),
+                  [](const Edit &a, const Edit &b) {
+                      return a.begin != b.begin ? a.begin < b.begin
+                                                : a.end > b.end;
+                  });
+        std::string out;
+        std::size_t pos = 0;
+        for (const Edit &e : edits_) {
+            if (e.begin < pos)
+                continue; // nested in a previous rewrite
+            out += src_.substr(pos, e.begin - pos);
+            out += e.text;
+            pos = e.end;
+        }
+        out += src_.substr(pos);
+        res_.source = std::move(out);
+
+        std::sort(sites_.begin(), sites_.end(),
+                  [](const PlanSite &a, const PlanSite &b) {
+                      return a.pos < b.pos;
+                  });
+        std::ostringstream tdl;
+        for (const PlanSite &s : sites_)
+            tdl << s.tdl << "\n";
+        res_.tdl = tdl.str();
+    }
+
+    std::string src_;
+    std::vector<CTok> toks_;
+    std::vector<Edit> edits_;
+    std::vector<FftwPlanSite> plans_;
+    std::vector<FftwExecSite> execs_;
+    std::vector<PlanSite> sites_;
+    unsigned planCounter_ = 0;
+    TranslationResult res_;
+};
+
+} // namespace
+
+TranslationResult
+translate(const std::string &cSource)
+{
+    Translator t(cSource);
+    return t.run();
+}
+
+std::string
+bindParams(const std::string &text,
+           const std::map<std::string, std::uint64_t> &syms)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size();) {
+        if (text[i] != '$') {
+            out += text[i++];
+            continue;
+        }
+        std::size_t j = i + 1;
+        while (j < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                text[j] == '_'))
+            ++j;
+        std::string sym = text.substr(i + 1, j - i - 1);
+        auto it = syms.find(sym);
+        fatalIf(it == syms.end(),
+                "bindParams: no binding for placeholder $", sym);
+        out += std::to_string(it->second);
+        i = j;
+    }
+    return out;
+}
+
+} // namespace mealib::s2s

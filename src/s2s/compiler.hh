@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The MEALib source-to-source compiler (paper Sec. 3.4).
+ *
+ * Pass 1 identifies accelerable library calls and builds the TDL
+ * description of the accelerator descriptor:
+ *   - fftwf_plan_guru_dft / fftwf_execute pairs (rank 0 -> RESHP,
+ *     rank >= 1 -> FFT), chaining consecutive executes whose buffers
+ *     connect into a single PASS;
+ *   - `#pragma omp parallel for` loop nests (up to 4 deep) whose body is
+ *     one accelerable CBLAS call, compacted into one LOOP block;
+ *   - bare calls to the Table 1 entry points (cblas_saxpy, cblas_sdot,
+ *     cblas_sgemv, mkl_scsrgemv, dfsInterpolate1D, mkl_simatcopy,
+ *     cblas_cdotc_sub, cblas_caxpy).
+ *
+ * Pass 2 rewrites malloc/free into the physically contiguous
+ * mealib_mem_alloc/mealib_mem_free runtime routines.
+ *
+ * Values the compiler cannot resolve statically (buffer addresses, loop
+ * bounds held in variables) are emitted as `$symbol` placeholders in the
+ * parameter files; bindParams() substitutes them at run time, which is
+ * what the generated mealib_acc_plan call does in a real deployment.
+ */
+
+#ifndef MEALIB_S2S_COMPILER_HH
+#define MEALIB_S2S_COMPILER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mealib::s2s {
+
+/** A note attached to the translation (unresolved value, skipped call). */
+struct Diagnostic
+{
+    unsigned line = 0;
+    std::string message;
+};
+
+/** Everything the compiler produces for one translation unit. */
+struct TranslationResult
+{
+    std::string source; //!< transformed C source
+    std::string tdl;    //!< TDL program covering all emitted plans
+    std::map<std::string, std::string> paramFiles;
+    std::vector<Diagnostic> notes;
+    unsigned plansEmitted = 0;   //!< mealib_acc_plan sites inserted
+    unsigned allocRewrites = 0;  //!< malloc/free substitutions
+    std::uint64_t callsAbsorbed = 0; //!< library calls folded into plans
+};
+
+/** Translate one C source file. */
+TranslationResult translate(const std::string &cSource);
+
+/**
+ * Substitute `$symbol` placeholders in a generated parameter file with
+ * concrete values; fatal() if a placeholder has no binding.
+ */
+std::string bindParams(const std::string &paramText,
+                       const std::map<std::string, std::uint64_t> &syms);
+
+} // namespace mealib::s2s
+
+#endif // MEALIB_S2S_COMPILER_HH

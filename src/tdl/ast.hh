@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TDL abstract syntax: COMP / PASS / LOOP blocks (paper Sec. 3.4).
+ */
+
+#ifndef MEALIB_TDL_AST_HH
+#define MEALIB_TDL_AST_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/ops.hh"
+
+namespace mealib::tdl {
+
+/** COMP block: one accelerator invocation. */
+struct TdlComp
+{
+    std::string acc;        //!< accelerator name ("FFT", "DOT", ...)
+    std::string paramsFile; //!< parameter file the PR is built from
+};
+
+/** PASS block: a chained datapath with its own input/output buffers. */
+struct TdlPass
+{
+    std::uint64_t inAddr = 0;  //!< informational (paper: per-pass buffer)
+    std::uint64_t outAddr = 0;
+    std::vector<TdlComp> comps;
+};
+
+/** LOOP block: contained passes run for every loop index. */
+struct TdlLoop
+{
+    accel::LoopSpec loop;
+    std::vector<TdlPass> passes;
+};
+
+/** Top-level item: either a bare PASS or a LOOP of passes. */
+struct TdlItem
+{
+    bool isLoop = false;
+    TdlLoop loop;  //!< valid when isLoop
+    TdlPass pass;  //!< valid when !isLoop
+};
+
+/** A parsed TDL program. */
+struct TdlProgram
+{
+    std::vector<TdlItem> items;
+
+    /** Total COMP count before loop expansion. */
+    std::size_t
+    compCount() const
+    {
+        std::size_t c = 0;
+        for (const TdlItem &it : items) {
+            if (it.isLoop) {
+                for (const TdlPass &p : it.loop.passes)
+                    c += p.comps.size();
+            } else {
+                c += it.pass.comps.size();
+            }
+        }
+        return c;
+    }
+};
+
+} // namespace mealib::tdl
+
+#endif // MEALIB_TDL_AST_HH

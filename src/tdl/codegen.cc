@@ -1,0 +1,89 @@
+#include "tdl/codegen.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "tdl/params.hh"
+#include "tdl/parser.hh"
+
+namespace mealib::tdl {
+
+namespace {
+
+void
+emitPass(const TdlPass &pass, const ParamResolver &resolve,
+         accel::DescriptorProgram &out)
+{
+    for (const TdlComp &comp : pass.comps) {
+        accel::AccelKind kind = kindFromName(comp.acc);
+        fatalIf(comp.paramsFile.empty(), "tdl codegen: COMP acc=",
+                comp.acc, " has no params file");
+        std::string text = resolve(comp.paramsFile);
+        out.addComp(parseParams(kind, text));
+    }
+    out.addPassEnd();
+}
+
+} // namespace
+
+accel::DescriptorProgram
+codegen(const TdlProgram &prog, const ParamResolver &resolve)
+{
+    fatalIf(!resolve, "tdl codegen: null parameter resolver");
+    accel::DescriptorProgram out;
+    for (const TdlItem &item : prog.items) {
+        if (item.isLoop) {
+            // Count the body instructions (comps + pass-end markers).
+            std::uint32_t body = 0;
+            for (const TdlPass &p : item.loop.passes)
+                body += static_cast<std::uint32_t>(p.comps.size()) + 1;
+            out.addLoop(item.loop.loop, body);
+            for (const TdlPass &p : item.loop.passes)
+                emitPass(p, resolve, out);
+        } else {
+            emitPass(item.pass, resolve, out);
+        }
+    }
+    out.validate();
+    return out;
+}
+
+accel::DescriptorProgram
+compileTdl(const std::string &source, const ParamResolver &resolve)
+{
+    return codegen(parse(source), resolve);
+}
+
+std::string
+format(const TdlProgram &prog)
+{
+    std::ostringstream os;
+    auto emit_pass = [&](const TdlPass &p, const char *indent) {
+        os << indent << "PASS(";
+        os << "in=" << p.inAddr << ", out=" << p.outAddr << ") {\n";
+        for (const TdlComp &c : p.comps) {
+            os << indent << "  COMP(acc=" << c.acc << ", params=\""
+               << c.paramsFile << "\")\n";
+        }
+        os << indent << "}\n";
+    };
+    for (const TdlItem &item : prog.items) {
+        if (item.isLoop) {
+            os << "LOOP(dims=\"";
+            for (unsigned d = 0; d < accel::kMaxLoopDims; ++d) {
+                os << item.loop.loop.dims[d];
+                if (d + 1 < accel::kMaxLoopDims)
+                    os << "x";
+            }
+            os << "\") {\n";
+            for (const TdlPass &p : item.loop.passes)
+                emit_pass(p, "  ");
+            os << "}\n";
+        } else {
+            emit_pass(item.pass, "");
+        }
+    }
+    return os.str();
+}
+
+} // namespace mealib::tdl

@@ -1,0 +1,182 @@
+#include "tdl/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mealib::tdl {
+
+const char *
+tokKindName(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::Ident:
+        return "identifier";
+      case TokKind::Int:
+        return "integer";
+      case TokKind::Float:
+        return "number";
+      case TokKind::String:
+        return "string";
+      case TokKind::LParen:
+        return "'('";
+      case TokKind::RParen:
+        return "')'";
+      case TokKind::LBrace:
+        return "'{'";
+      case TokKind::RBrace:
+        return "'}'";
+      case TokKind::Comma:
+        return "','";
+      case TokKind::Equals:
+        return "'='";
+      case TokKind::End:
+        return "end of input";
+      default:
+        return "?";
+    }
+}
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    unsigned line = 1, col = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto make = [&](TokKind k) {
+        Token t;
+        t.kind = k;
+        t.line = line;
+        t.col = col;
+        return t;
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++col;
+            ++i;
+            continue;
+        }
+        if (c == '#') { // comment to end of line
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+
+        Token t = make(TokKind::End);
+        switch (c) {
+          case '(':
+            t.kind = TokKind::LParen;
+            break;
+          case ')':
+            t.kind = TokKind::RParen;
+            break;
+          case '{':
+            t.kind = TokKind::LBrace;
+            break;
+          case '}':
+            t.kind = TokKind::RBrace;
+            break;
+          case ',':
+            t.kind = TokKind::Comma;
+            break;
+          case '=':
+            t.kind = TokKind::Equals;
+            break;
+          default:
+            t.kind = TokKind::End; // resolved below
+        }
+        if (t.kind != TokKind::End) {
+            out.push_back(t);
+            ++i;
+            ++col;
+            continue;
+        }
+
+        if (c == '"') {
+            t = make(TokKind::String);
+            ++i;
+            ++col;
+            while (i < n && src[i] != '"') {
+                fatalIf(src[i] == '\n', "tdl lex: unterminated string at "
+                        "line ", t.line);
+                t.text += src[i];
+                ++i;
+                ++col;
+            }
+            fatalIf(i >= n, "tdl lex: unterminated string at line ",
+                    t.line);
+            ++i; // closing quote
+            ++col;
+            out.push_back(t);
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '-' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            std::size_t start = i;
+            if (c == '-')
+                ++i;
+            bool hex = i + 1 < n && src[i] == '0' &&
+                       (src[i + 1] == 'x' || src[i + 1] == 'X');
+            if (hex)
+                i += 2;
+            bool is_float = false;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '.')) {
+                if (src[i] == '.' && !hex)
+                    is_float = true;
+                ++i;
+            }
+            std::string text = src.substr(start, i - start);
+            t = make(is_float ? TokKind::Float : TokKind::Int);
+            t.text = text;
+            char *end = nullptr;
+            if (is_float) {
+                t.floatVal = std::strtod(text.c_str(), &end);
+            } else {
+                t.intVal = std::strtoll(text.c_str(), &end, 0);
+                t.floatVal = static_cast<double>(t.intVal);
+            }
+            fatalIf(end == nullptr || *end != '\0',
+                    "tdl lex: bad number '", text, "' at line ", t.line);
+            col += static_cast<unsigned>(i - start);
+            out.push_back(t);
+            continue;
+        }
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_' || src[i] == '.')) {
+                ++i;
+            }
+            t = make(TokKind::Ident);
+            t.text = src.substr(start, i - start);
+            col += static_cast<unsigned>(i - start);
+            out.push_back(t);
+            continue;
+        }
+
+        fatal("tdl lex: unexpected character '", c, "' at line ", line,
+              " col ", col);
+    }
+
+    out.push_back(make(TokKind::End));
+    return out;
+}
+
+} // namespace mealib::tdl

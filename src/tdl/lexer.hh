@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Hand-written lexer for TDL. '#' starts a comment to end of line.
+ */
+
+#ifndef MEALIB_TDL_LEXER_HH
+#define MEALIB_TDL_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "tdl/token.hh"
+
+namespace mealib::tdl {
+
+/** Tokenize @p source; fatal() with line/column on bad input. */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace mealib::tdl
+
+#endif // MEALIB_TDL_LEXER_HH

@@ -1,0 +1,294 @@
+#include "tdl/params.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mealib::tdl {
+
+namespace {
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    std::size_t b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+std::int64_t
+parseInt(const std::string &v, const std::string &key)
+{
+    char *end = nullptr;
+    std::int64_t x = std::strtoll(v.c_str(), &end, 0);
+    fatalIf(end == nullptr || *end != '\0', "params: key '", key,
+            "' expects an integer, got '", v, "'");
+    return x;
+}
+
+double
+parseFloat(const std::string &v, const std::string &key)
+{
+    char *end = nullptr;
+    double x = std::strtod(v.c_str(), &end);
+    fatalIf(end == nullptr || *end != '\0', "params: key '", key,
+            "' expects a number, got '", v, "'");
+    return x;
+}
+
+bool
+parseBool(const std::string &v, const std::string &key)
+{
+    std::string s = lower(v);
+    if (s == "true" || s == "1" || s == "yes")
+        return true;
+    if (s == "false" || s == "0" || s == "no")
+        return false;
+    fatal("params: key '", key, "' expects a boolean, got '", v, "'");
+}
+
+/** Parse "a, b, c, d" (1..4 components) into a stride array. */
+void
+parseStrides(const std::string &v, const std::string &key,
+             std::array<std::int64_t, accel::kMaxLoopDims> &out)
+{
+    std::stringstream ss(v);
+    std::string part;
+    unsigned d = 0;
+    while (std::getline(ss, part, ',')) {
+        fatalIf(d >= accel::kMaxLoopDims, "params: key '", key,
+                "' has more than ", accel::kMaxLoopDims, " strides");
+        out[d++] = parseInt(trim(part), key);
+    }
+    fatalIf(d == 0, "params: key '", key, "' has no strides");
+}
+
+accel::OperandRef *
+operandByName(accel::OpCall &c, const std::string &base)
+{
+    if (base == "in0")
+        return &c.in0;
+    if (base == "in1")
+        return &c.in1;
+    if (base == "in2")
+        return &c.in2;
+    if (base == "in3")
+        return &c.in3;
+    if (base == "out")
+        return &c.out;
+    return nullptr;
+}
+
+std::uint32_t
+parseResampleKind(const std::string &v)
+{
+    std::string s = lower(v);
+    if (s == "linear" || s == "0")
+        return 0;
+    if (s == "catmullrom" || s == "cubic" || s == "1")
+        return 1;
+    if (s == "sinc8" || s == "sinc" || s == "2")
+        return 2;
+    fatal("params: unknown resample kind '", v, "'");
+}
+
+bool
+isPow2(std::uint64_t n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+void
+validateCall(const accel::OpCall &c)
+{
+    using accel::AccelKind;
+    fatalIf(c.n == 0, "params: n must be positive for ",
+            accel::name(c.kind));
+    switch (c.kind) {
+      case AccelKind::GEMV:
+      case AccelKind::RESHP:
+        fatalIf(c.m == 0, "params: m must be positive for ",
+                accel::name(c.kind));
+        break;
+      case AccelKind::SPMV:
+        fatalIf(c.m == 0 || c.k == 0,
+                "params: SPMV needs m (rows) and k (nnz)");
+        break;
+      case AccelKind::RESMP:
+        fatalIf(c.m == 0, "params: RESMP needs m (output samples)");
+        break;
+      case AccelKind::FFT:
+        fatalIf(!isPow2(c.n), "params: FFT n must be a power of two");
+        fatalIf(c.k != 0 && !isPow2(c.k),
+                "params: FFT k (rows) must be a power of two");
+        fatalIf(!c.complexData, "params: FFT data must be complex");
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+accel::AccelKind
+kindFromName(const std::string &name)
+{
+    std::string s = lower(name);
+    if (s == "axpy")
+        return accel::AccelKind::AXPY;
+    if (s == "dot")
+        return accel::AccelKind::DOT;
+    if (s == "gemv")
+        return accel::AccelKind::GEMV;
+    if (s == "spmv")
+        return accel::AccelKind::SPMV;
+    if (s == "resmp" || s == "resample")
+        return accel::AccelKind::RESMP;
+    if (s == "fft")
+        return accel::AccelKind::FFT;
+    if (s == "reshp" || s == "reshape")
+        return accel::AccelKind::RESHP;
+    fatal("tdl: unknown accelerator '", name, "'");
+}
+
+accel::OpCall
+parseParams(accel::AccelKind kind, const std::string &text)
+{
+    accel::OpCall c;
+    c.kind = kind;
+
+    std::stringstream ss(text);
+    std::string raw;
+    while (std::getline(ss, raw)) {
+        std::string line = raw;
+        if (auto h = line.find('#'); h != std::string::npos)
+            line = line.substr(0, h);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        fatalIf(eq == std::string::npos, "params: missing '=' in line '",
+                raw, "'");
+        std::string key = trim(line.substr(0, eq));
+        std::string val = trim(line.substr(eq + 1));
+        fatalIf(key.empty() || val.empty(),
+                "params: malformed line '", raw, "'");
+
+        // Operand keys: "<name>" for the base, "<name>.stride" for the
+        // per-loop-dimension strides.
+        std::string base = key;
+        bool is_stride = false;
+        if (auto dot = key.find('.'); dot != std::string::npos) {
+            base = key.substr(0, dot);
+            std::string field = key.substr(dot + 1);
+            fatalIf(field != "stride", "params: unknown operand field '",
+                    field, "'");
+            is_stride = true;
+        }
+        if (accel::OperandRef *op = operandByName(c, base)) {
+            if (is_stride)
+                parseStrides(val, key, op->stride);
+            else
+                op->base =
+                    static_cast<Addr>(parseInt(val, key));
+            continue;
+        }
+
+        if (key == "n") {
+            c.n = static_cast<std::uint64_t>(parseInt(val, key));
+        } else if (key == "m") {
+            c.m = static_cast<std::uint64_t>(parseInt(val, key));
+        } else if (key == "k") {
+            c.k = static_cast<std::uint64_t>(parseInt(val, key));
+        } else if (key == "inc0") {
+            c.inc0 = parseInt(val, key);
+        } else if (key == "inc1") {
+            c.inc1 = parseInt(val, key);
+        } else if (key == "alpha") {
+            c.alpha = static_cast<float>(parseFloat(val, key));
+        } else if (key == "beta") {
+            c.beta = static_cast<float>(parseFloat(val, key));
+        } else if (key == "complex") {
+            c.complexData = parseBool(val, key);
+        } else if (key == "conj") {
+            c.conjugate = parseBool(val, key);
+        } else if (key == "dir") {
+            std::int64_t d = parseInt(val, key);
+            fatalIf(d != -1 && d != 1, "params: dir must be -1 or 1");
+            c.fftDir = static_cast<std::int32_t>(d);
+        } else if (key == "resample") {
+            c.resampleKind = parseResampleKind(val);
+        } else {
+            fatal("params: unknown key '", key, "'");
+        }
+    }
+
+    validateCall(c);
+    return c;
+}
+
+std::string
+formatParams(const accel::OpCall &c)
+{
+    std::ostringstream os;
+    // max_digits10 so float scalars round-trip exactly through the file.
+    os.precision(9);
+    os << "# " << accel::name(c.kind) << " parameters\n";
+    os << "n = " << c.n << "\n";
+    if (c.m != 1)
+        os << "m = " << c.m << "\n";
+    if (c.k != 0)
+        os << "k = " << c.k << "\n";
+    if (c.inc0 != 1)
+        os << "inc0 = " << c.inc0 << "\n";
+    if (c.inc1 != 1)
+        os << "inc1 = " << c.inc1 << "\n";
+    if (c.alpha != 1.0f)
+        os << "alpha = " << c.alpha << "\n";
+    if (c.beta != 0.0f)
+        os << "beta = " << c.beta << "\n";
+    if (c.complexData)
+        os << "complex = true\n";
+    if (c.conjugate)
+        os << "conj = true\n";
+    if (c.kind == accel::AccelKind::FFT)
+        os << "dir = " << c.fftDir << "\n";
+    if (c.kind == accel::AccelKind::RESMP)
+        os << "resample = " << c.resampleKind << "\n";
+
+    auto emit = [&](const char *name, const accel::OperandRef &op) {
+        os << name << " = " << op.base << "\n";
+        bool any = false;
+        for (auto s : op.stride)
+            any = any || s != 0;
+        if (any) {
+            os << name << ".stride = ";
+            for (unsigned d = 0; d < accel::kMaxLoopDims; ++d)
+                os << op.stride[d]
+                   << (d + 1 < accel::kMaxLoopDims ? ", " : "\n");
+        }
+    };
+    emit("in0", c.in0);
+    emit("in1", c.in1);
+    emit("in2", c.in2);
+    emit("in3", c.in3);
+    emit("out", c.out);
+    return os.str();
+}
+
+} // namespace mealib::tdl

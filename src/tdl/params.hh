@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Parameter-file format for TDL COMP blocks.
+ *
+ * The source-to-source compiler stores "the rest of the API parameters"
+ * of each translated library call in a parameter file (paper Sec. 3.4,
+ * e.g. reshape.para / fft.para). The format is line-oriented key = value
+ * with '#' comments:
+ *
+ *   n = 256
+ *   m = 128
+ *   complex = true
+ *   dir = -1
+ *   in0 = 0x100000
+ *   in0.stride = 2048, 0, 0, 0
+ *   out = 0x500000
+ */
+
+#ifndef MEALIB_TDL_PARAMS_HH
+#define MEALIB_TDL_PARAMS_HH
+
+#include <string>
+
+#include "accel/ops.hh"
+
+namespace mealib::tdl {
+
+/** Map an accelerator name ("FFT", case-insensitive) to its kind. */
+accel::AccelKind kindFromName(const std::string &name);
+
+/**
+ * Parse a parameter file body into an OpCall for @p kind; fatal() on
+ * unknown keys, malformed values, or per-kind validation failures
+ * (e.g. FFT extents that are not powers of two).
+ */
+accel::OpCall parseParams(accel::AccelKind kind, const std::string &text);
+
+/** Serialize an OpCall back to parameter-file text (round-trips). */
+std::string formatParams(const accel::OpCall &call);
+
+} // namespace mealib::tdl
+
+#endif // MEALIB_TDL_PARAMS_HH

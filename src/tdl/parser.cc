@@ -1,0 +1,220 @@
+#include "tdl/parser.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.hh"
+#include "tdl/lexer.hh"
+
+namespace mealib::tdl {
+
+namespace {
+
+/** Attribute value: int, float or string payload. */
+struct AttrVal
+{
+    TokKind kind;
+    std::int64_t i = 0;
+    double f = 0.0;
+    std::string s;
+};
+
+using AttrMap = std::map<std::string, AttrVal>;
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    TdlProgram
+    program()
+    {
+        TdlProgram prog;
+        while (peek().kind != TokKind::End) {
+            const Token &t = expect(TokKind::Ident, "LOOP or PASS");
+            if (t.text == "LOOP") {
+                TdlItem item;
+                item.isLoop = true;
+                item.loop = loop();
+                prog.items.push_back(std::move(item));
+            } else if (t.text == "PASS") {
+                TdlItem item;
+                item.pass = pass();
+                prog.items.push_back(std::move(item));
+            } else {
+                fatal("tdl parse: expected LOOP or PASS, got '", t.text,
+                      "' at line ", t.line);
+            }
+        }
+        fatalIf(prog.items.empty(), "tdl parse: empty program");
+        return prog;
+    }
+
+  private:
+    const Token &
+    peek() const
+    {
+        return toks_[pos_];
+    }
+
+    const Token &
+    next()
+    {
+        return toks_[pos_++];
+    }
+
+    const Token &
+    expect(TokKind kind, const char *what)
+    {
+        const Token &t = next();
+        fatalIf(t.kind != kind, "tdl parse: expected ", what, ", got ",
+                tokKindName(t.kind), " at line ", t.line, " col ", t.col);
+        return t;
+    }
+
+    AttrMap
+    attrs()
+    {
+        AttrMap map;
+        expect(TokKind::LParen, "'('");
+        if (peek().kind == TokKind::RParen) {
+            next();
+            return map;
+        }
+        while (true) {
+            const Token &key = expect(TokKind::Ident, "attribute name");
+            expect(TokKind::Equals, "'='");
+            const Token &val = next();
+            AttrVal v;
+            v.kind = val.kind;
+            switch (val.kind) {
+              case TokKind::Int:
+                v.i = val.intVal;
+                v.f = static_cast<double>(val.intVal);
+                break;
+              case TokKind::Float:
+                v.f = val.floatVal;
+                break;
+              case TokKind::String:
+              case TokKind::Ident:
+                v.s = val.text;
+                break;
+              default:
+                fatal("tdl parse: bad attribute value at line ", val.line);
+            }
+            map[key.text] = v;
+            if (peek().kind == TokKind::Comma) {
+                next();
+                continue;
+            }
+            break;
+        }
+        expect(TokKind::RParen, "')'");
+        return map;
+    }
+
+    accel::LoopSpec
+    loopSpec(const AttrMap &a, unsigned line)
+    {
+        accel::LoopSpec spec;
+        auto count = a.find("count");
+        auto dims = a.find("dims");
+        fatalIf(count == a.end() && dims == a.end(),
+                "tdl parse: LOOP needs count= or dims= at line ", line);
+        if (count != a.end()) {
+            fatalIf(count->second.kind != TokKind::Int ||
+                        count->second.i <= 0,
+                    "tdl parse: LOOP count must be a positive integer");
+            spec.dims[0] = static_cast<std::uint32_t>(count->second.i);
+        }
+        if (dims != a.end()) {
+            // dims="4x8x2" — up to kMaxLoopDims extents.
+            const std::string &s = dims->second.s;
+            std::size_t start = 0;
+            unsigned d = 0;
+            while (start < s.size()) {
+                std::size_t x = s.find('x', start);
+                std::string part = s.substr(
+                    start, x == std::string::npos ? x : x - start);
+                char *end = nullptr;
+                long long v = std::strtoll(part.c_str(), &end, 0);
+                fatalIf(end == nullptr || *end != '\0' || v <= 0,
+                        "tdl parse: bad dims component '", part, "'");
+                fatalIf(d >= accel::kMaxLoopDims,
+                        "tdl parse: more than ", accel::kMaxLoopDims,
+                        " loop dims");
+                spec.dims[d++] = static_cast<std::uint32_t>(v);
+                if (x == std::string::npos)
+                    break;
+                start = x + 1;
+            }
+        }
+        return spec;
+    }
+
+    TdlLoop
+    loop()
+    {
+        TdlLoop l;
+        unsigned line = peek().line;
+        l.loop = loopSpec(attrs(), line);
+        expect(TokKind::LBrace, "'{'");
+        while (peek().kind != TokKind::RBrace) {
+            const Token &t = expect(TokKind::Ident, "PASS");
+            fatalIf(t.text != "PASS",
+                    "tdl parse: only PASS blocks may appear inside LOOP, "
+                    "got '", t.text, "' at line ", t.line);
+            l.passes.push_back(pass());
+        }
+        next(); // '}'
+        fatalIf(l.passes.empty(), "tdl parse: empty LOOP body");
+        return l;
+    }
+
+    TdlPass
+    pass()
+    {
+        TdlPass p;
+        if (peek().kind == TokKind::LParen) {
+            AttrMap a = attrs();
+            if (auto it = a.find("in"); it != a.end())
+                p.inAddr = static_cast<std::uint64_t>(it->second.i);
+            if (auto it = a.find("out"); it != a.end())
+                p.outAddr = static_cast<std::uint64_t>(it->second.i);
+        }
+        expect(TokKind::LBrace, "'{'");
+        while (peek().kind != TokKind::RBrace) {
+            const Token &t = expect(TokKind::Ident, "COMP");
+            fatalIf(t.text != "COMP",
+                    "tdl parse: only COMP blocks may appear inside PASS, "
+                    "got '", t.text, "' at line ", t.line);
+            unsigned line = t.line;
+            AttrMap a = attrs();
+            TdlComp c;
+            auto acc = a.find("acc");
+            fatalIf(acc == a.end(),
+                    "tdl parse: COMP needs acc= at line ", line);
+            c.acc = acc->second.s;
+            if (auto it = a.find("params"); it != a.end())
+                c.paramsFile = it->second.s;
+            p.comps.push_back(std::move(c));
+        }
+        next(); // '}'
+        fatalIf(p.comps.empty(), "tdl parse: empty PASS body");
+        return p;
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+TdlProgram
+parse(const std::string &source)
+{
+    Parser p(lex(source));
+    return p.program();
+}
+
+} // namespace mealib::tdl

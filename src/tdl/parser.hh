@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Recursive-descent parser for TDL.
+ *
+ * Grammar:
+ *   program := (loop | pass)*
+ *   loop    := 'LOOP' '(' attrs ')' '{' pass+ '}'
+ *   pass    := 'PASS' ('(' attrs ')')? '{' comp+ '}'
+ *   comp    := 'COMP' '(' attrs ')'
+ *   attrs   := attr (',' attr)*
+ *   attr    := ident '=' (int | float | string | ident)
+ *
+ * LOOP attributes: count=<n> or dims="<a>x<b>x..." (up to 4 dims).
+ * PASS attributes: in=<addr>, out=<addr> (informational).
+ * COMP attributes: acc=<name>, params="<file>".
+ */
+
+#ifndef MEALIB_TDL_PARSER_HH
+#define MEALIB_TDL_PARSER_HH
+
+#include <string>
+
+#include "tdl/ast.hh"
+
+namespace mealib::tdl {
+
+/** Parse TDL source; fatal() with location info on syntax errors. */
+TdlProgram parse(const std::string &source);
+
+} // namespace mealib::tdl
+
+#endif // MEALIB_TDL_PARSER_HH

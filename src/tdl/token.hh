@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tokens of the Task Description Language (paper Sec. 3.4).
+ *
+ * TDL describes sequences of accelerator invocations:
+ *
+ *   LOOP(count=128) {
+ *     PASS(in=0x100000, out=0x500000) {
+ *       COMP(acc=RESHP, params="reshape.para")
+ *       COMP(acc=FFT, params="fft.para")
+ *     }
+ *   }
+ *
+ * The source-to-source compiler emits TDL strings plus parameter files;
+ * the runtime compiles them into accelerator descriptors.
+ */
+
+#ifndef MEALIB_TDL_TOKEN_HH
+#define MEALIB_TDL_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mealib::tdl {
+
+/** Token kinds of the TDL grammar. */
+enum class TokKind
+{
+    Ident,   //!< LOOP, PASS, COMP, acc, params, bare words
+    Int,     //!< decimal or 0x hex integer
+    Float,   //!< decimal number with a fractional part
+    String,  //!< "quoted"
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Equals,
+    End,     //!< end of input
+};
+
+/** One lexed token with source position for diagnostics. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;       //!< identifier / string payload
+    std::int64_t intVal = 0;
+    double floatVal = 0.0;
+    unsigned line = 0;
+    unsigned col = 0;
+};
+
+/** Printable name of a token kind (for error messages). */
+const char *tokKindName(TokKind kind);
+
+} // namespace mealib::tdl
+
+#endif // MEALIB_TDL_TOKEN_HH

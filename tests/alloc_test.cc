@@ -1,0 +1,137 @@
+// Tests for the contiguous allocator underneath mealib_mem_alloc.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "runtime/alloc.hh"
+
+namespace mealib::runtime {
+namespace {
+
+TEST(Alloc, BasicAllocFree)
+{
+    ContigAllocator a(0, 1 << 20);
+    Addr p = a.alloc(1000);
+    EXPECT_EQ(a.allocationCount(), 1u);
+    EXPECT_GE(a.bytesInUse(), 1000u);
+    a.free(p);
+    EXPECT_EQ(a.allocationCount(), 0u);
+    EXPECT_EQ(a.bytesInUse(), 0u);
+}
+
+TEST(Alloc, ReturnsAlignedAddresses)
+{
+    ContigAllocator a(3, 1 << 20, 64); // deliberately unaligned base
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.alloc(100) % 64, 0u);
+}
+
+TEST(Alloc, AllocationsDoNotOverlap)
+{
+    ContigAllocator a(0, 1 << 20);
+    std::vector<std::pair<Addr, std::uint64_t>> blocks;
+    for (int i = 1; i <= 50; ++i) {
+        std::uint64_t sz = static_cast<std::uint64_t>(i) * 37;
+        Addr p = a.alloc(sz);
+        for (const auto &[q, qs] : blocks)
+            EXPECT_TRUE(p + sz <= q || q + qs <= p)
+                << "overlap between " << p << " and " << q;
+        blocks.emplace_back(p, sz);
+    }
+}
+
+TEST(Alloc, CoalescingRestoresFullRegion)
+{
+    ContigAllocator a(0, 4096);
+    Addr p1 = a.alloc(1024);
+    Addr p2 = a.alloc(1024);
+    Addr p3 = a.alloc(1024);
+    // Free out of order: middle, last, first.
+    a.free(p2);
+    a.free(p3);
+    a.free(p1);
+    EXPECT_EQ(a.largestFreeBlock(), 4096u);
+    // The whole region is again allocatable in one block.
+    EXPECT_NO_THROW(a.alloc(4096));
+}
+
+TEST(Alloc, OutOfMemoryIsFatal)
+{
+    ContigAllocator a(0, 4096);
+    a.alloc(4096);
+    EXPECT_THROW(a.alloc(1), FatalError);
+}
+
+TEST(Alloc, FragmentationPreventsLargeAlloc)
+{
+    ContigAllocator a(0, 4096, 1);
+    Addr p1 = a.alloc(1024);
+    Addr p2 = a.alloc(1024);
+    Addr p3 = a.alloc(1024);
+    Addr p4 = a.alloc(1024);
+    (void)p1;
+    (void)p3;
+    a.free(p2);
+    a.free(p4);
+    // 2048 bytes free but not contiguous.
+    EXPECT_EQ(a.largestFreeBlock(), 1024u);
+    EXPECT_THROW(a.alloc(2048), FatalError);
+}
+
+TEST(Alloc, DoubleFreeIsFatal)
+{
+    ContigAllocator a(0, 4096);
+    Addr p = a.alloc(64);
+    a.free(p);
+    EXPECT_THROW(a.free(p), FatalError);
+}
+
+TEST(Alloc, FreeOfBogusAddressIsFatal)
+{
+    ContigAllocator a(0, 4096);
+    EXPECT_THROW(a.free(12345), FatalError);
+}
+
+TEST(Alloc, SizeOfTracksRoundedSize)
+{
+    ContigAllocator a(0, 4096, 64);
+    Addr p = a.alloc(100);
+    EXPECT_EQ(a.sizeOf(p), 128u); // rounded to alignment
+}
+
+TEST(Alloc, ZeroByteAllocIsFatal)
+{
+    ContigAllocator a(0, 4096);
+    EXPECT_THROW(a.alloc(0), FatalError);
+}
+
+TEST(Alloc, StressRandomAllocFree)
+{
+    // Property test: after any interleaving of allocs and frees, freeing
+    // everything restores one maximal hole.
+    ContigAllocator a(0, 1 << 22);
+    Rng rng(99);
+    std::vector<Addr> live;
+    for (int step = 0; step < 2000; ++step) {
+        bool do_alloc = live.empty() || rng.uniform() < 0.6;
+        if (do_alloc) {
+            std::uint64_t sz = 1 + rng.below(2000);
+            live.push_back(a.alloc(sz));
+        } else {
+            std::size_t i = static_cast<std::size_t>(
+                rng.below(live.size()));
+            a.free(live[i]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+    }
+    for (Addr p : live)
+        a.free(p);
+    EXPECT_EQ(a.bytesInUse(), 0u);
+    EXPECT_EQ(a.largestFreeBlock(), 1u << 22);
+}
+
+} // namespace
+} // namespace mealib::runtime

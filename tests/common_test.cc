@@ -1,0 +1,189 @@
+// Unit tests for the common substrate: logging, units, RNG, stats, CLI.
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace mealib {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("broken invariant"), PanicError);
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "nope"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(Logging, MessageCarriesStreamedParts)
+{
+    try {
+        fatal("value=", 7, " name=", "x");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=x");
+    }
+}
+
+TEST(Units, ByteLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(1_MiB, 1024u * 1024u);
+    EXPECT_EQ(4_GiB, 4ull << 30);
+}
+
+TEST(Units, FrequencyAndBandwidthLiterals)
+{
+    EXPECT_DOUBLE_EQ(3.5_GHz, 3.5e9);
+    EXPECT_DOUBLE_EQ(25.6_GBps, 25.6e9);
+    EXPECT_DOUBLE_EQ(1.0_ns, 1e-9);
+    EXPECT_DOUBLE_EQ(1.0_pJ, 1e-12);
+}
+
+TEST(Units, CostComposition)
+{
+    Cost a{1.0, 10.0};
+    Cost b{2.0, 5.0};
+    Cost s = a + b;
+    EXPECT_DOUBLE_EQ(s.seconds, 3.0);
+    EXPECT_DOUBLE_EQ(s.joules, 15.0);
+
+    Cost o = overlap(a, b);
+    EXPECT_DOUBLE_EQ(o.seconds, 2.0);
+    EXPECT_DOUBLE_EQ(o.joules, 15.0);
+}
+
+TEST(Units, CostDerivedMetrics)
+{
+    Cost c{2.0, 10.0};
+    EXPECT_DOUBLE_EQ(c.watts(), 5.0);
+    EXPECT_DOUBLE_EQ(c.edp(), 20.0);
+    EXPECT_DOUBLE_EQ(Cost{}.watts(), 0.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Stats, ScalarBasics)
+{
+    ScalarStat s;
+    s.sample(1.0);
+    s.sample(3.0);
+    s.sample(5.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(Stats, EmptyScalarIsZero)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, BreakdownFractions)
+{
+    Breakdown b;
+    b.add("host", 75.0);
+    b.add("accel", 25.0);
+    EXPECT_DOUBLE_EQ(b.total(), 100.0);
+    EXPECT_DOUBLE_EQ(b.fraction("host"), 0.75);
+    EXPECT_DOUBLE_EQ(b.get("missing"), 0.0);
+}
+
+TEST(Stats, BreakdownAccumulates)
+{
+    Breakdown b;
+    b.add("x", 1.0);
+    b.add("x", 2.0);
+    EXPECT_DOUBLE_EQ(b.get("x"), 3.0);
+}
+
+TEST(Cli, FlagForms)
+{
+    const char *argv[] = {"prog", "--verbose", "--size=128",
+                          "--name", "foo", "positional"};
+    Cli cli(6, argv);
+    EXPECT_TRUE(cli.has("verbose"));
+    EXPECT_FALSE(cli.has("absent"));
+    EXPECT_EQ(cli.getInt("size", 0), 128);
+    EXPECT_EQ(cli.get("name", ""), "foo");
+    ASSERT_EQ(cli.positional().size(), 1u);
+    EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    Cli cli(1, argv);
+    EXPECT_EQ(cli.getInt("n", 42), 42);
+    EXPECT_DOUBLE_EQ(cli.getDouble("f", 2.5), 2.5);
+    EXPECT_EQ(cli.get("s", "dft"), "dft");
+}
+
+TEST(Cli, BadIntegerIsFatal)
+{
+    const char *argv[] = {"prog", "--n=abc"};
+    Cli cli(2, argv);
+    EXPECT_THROW(cli.getInt("n", 0), FatalError);
+}
+
+} // namespace
+} // namespace mealib

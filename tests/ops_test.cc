@@ -1,0 +1,139 @@
+// Tests for the OpCall traffic/flops accounting that feeds both the
+// performance models and the host profiles.
+
+#include <gtest/gtest.h>
+
+#include "accel/ops.hh"
+#include "common/logging.hh"
+
+namespace mealib::accel {
+namespace {
+
+TEST(OperandIterations, ZeroStridesDoNotMultiply)
+{
+    LoopSpec loop;
+    loop.dims = {4, 8, 2, 16};
+    OperandRef all_moving{0, {1, 1, 1, 1}};
+    OperandRef partial{0, {1, 0, 1, 0}};
+    OperandRef fixed{0, {0, 0, 0, 0}};
+    EXPECT_DOUBLE_EQ(operandIterations(all_moving, loop), 4.0 * 8 * 2 * 16);
+    EXPECT_DOUBLE_EQ(operandIterations(partial, loop), 4.0 * 2);
+    EXPECT_DOUBLE_EQ(operandIterations(fixed, loop), 1.0);
+}
+
+TEST(LoopedTraffic, EqualsUnloopedTimesItersWhenAllStride)
+{
+    OpCall c;
+    c.kind = AccelKind::DOT;
+    c.n = 1000;
+    c.in0.stride = {8000, 0, 0, 0};
+    c.in1.stride = {8000, 0, 0, 0};
+    c.out.stride = {4, 0, 0, 0};
+    LoopSpec loop;
+    loop.dims = {32, 1, 1, 1};
+    // in0 + in1 move fully; out contributes 4 B per iteration.
+    double expect = 32.0 * (1000 * 4 * 2 + 4);
+    EXPECT_DOUBLE_EQ(loopedTrafficBytes(c, loop), expect);
+}
+
+TEST(LoopedTraffic, ReuseShrinksTraffic)
+{
+    OpCall moving;
+    moving.kind = AccelKind::DOT;
+    moving.n = 512;
+    moving.in0.stride = {2048, 0, 0, 0};
+    moving.in1.stride = {2048, 0, 0, 0};
+    OpCall reused = moving;
+    reused.in1.stride = {0, 0, 0, 0}; // second operand pinned
+
+    LoopSpec loop;
+    loop.dims = {64, 1, 1, 1};
+    EXPECT_LT(loopedTrafficBytes(reused, loop),
+              loopedTrafficBytes(moving, loop));
+}
+
+TEST(OperandTraffic, TermsSumToLoopedTotal)
+{
+    const AccelKind kinds[] = {
+        AccelKind::AXPY, AccelKind::DOT,   AccelKind::GEMV,
+        AccelKind::SPMV, AccelKind::RESMP, AccelKind::FFT,
+        AccelKind::RESHP,
+    };
+    for (AccelKind k : kinds) {
+        OpCall c;
+        c.kind = k;
+        c.n = 256;
+        c.m = k == AccelKind::FFT ? 4 : 128;
+        c.k = k == AccelKind::SPMV ? 999 : 0;
+        c.complexData = k == AccelKind::FFT;
+        c.in0.stride = {64, 0, 0, 0};
+        c.out.stride = {64, 0, 0, 0};
+        LoopSpec loop;
+        loop.dims = {8, 1, 1, 1};
+        double sum = 0.0;
+        for (const OperandTraffic &t : operandTraffic(c, loop))
+            sum += t.bytes;
+        EXPECT_DOUBLE_EQ(sum, loopedTrafficBytes(c, loop))
+            << name(k);
+    }
+}
+
+TEST(OperandTraffic, PointersReferenceTheQueriedCall)
+{
+    OpCall c;
+    c.kind = AccelKind::AXPY;
+    c.n = 16;
+    auto terms = operandTraffic(c, {});
+    ASSERT_EQ(terms.size(), 2u);
+    EXPECT_EQ(terms[0].op, &c.in0);
+    EXPECT_EQ(terms[1].op, &c.out);
+}
+
+TEST(InputBytes, CoversReadOperandsOnly)
+{
+    OpCall axpy;
+    axpy.kind = AccelKind::AXPY;
+    axpy.n = 100;
+    // x plus the pre-existing y: 2 * n * 4.
+    EXPECT_DOUBLE_EQ(axpy.inputBytes(), 800.0);
+
+    OpCall fft;
+    fft.kind = AccelKind::FFT;
+    fft.n = 1024;
+    fft.complexData = true;
+    EXPECT_DOUBLE_EQ(fft.inputBytes(), 1024.0 * 8);
+    EXPECT_LT(fft.inputBytes(), fft.trafficBytes());
+}
+
+TEST(Flops, ComplexOpsCostMore)
+{
+    OpCall real;
+    real.kind = AccelKind::DOT;
+    real.n = 1000;
+    OpCall cplx = real;
+    cplx.complexData = true;
+    EXPECT_GT(cplx.flops(), real.flops());
+}
+
+TEST(Flops, ReshpIsPureDataMotion)
+{
+    OpCall c;
+    c.kind = AccelKind::RESHP;
+    c.m = 64;
+    c.n = 64;
+    EXPECT_DOUBLE_EQ(c.flops(), 0.0);
+    EXPECT_GT(c.trafficBytes(), 0.0);
+}
+
+TEST(Names, AllKindsNamed)
+{
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(AccelKind::kCount); ++k) {
+        const char *n = name(static_cast<AccelKind>(k));
+        EXPECT_NE(n, nullptr);
+        EXPECT_GT(std::string(n).size(), 2u);
+    }
+}
+
+} // namespace
+} // namespace mealib::accel

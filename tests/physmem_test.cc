@@ -1,0 +1,66 @@
+// Tests for the functional physical-memory backing store.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dram/physmem.hh"
+
+namespace mealib::dram {
+namespace {
+
+TEST(PhysMem, ZeroInitialized)
+{
+    PhysMem m(4096);
+    const std::uint8_t *p = m.raw(0, 4096);
+    for (int i = 0; i < 4096; ++i)
+        ASSERT_EQ(p[i], 0);
+}
+
+TEST(PhysMem, ReadBackWrites)
+{
+    PhysMem m(4096);
+    float *f = m.ptr<float>(128, 4);
+    f[0] = 1.5f;
+    f[3] = -2.0f;
+    EXPECT_FLOAT_EQ(*m.ptr<float>(128, 1), 1.5f);
+    EXPECT_FLOAT_EQ(*m.ptr<float>(128 + 12, 1), -2.0f);
+}
+
+TEST(PhysMem, OutOfRangeIsFatal)
+{
+    PhysMem m(1024);
+    EXPECT_NO_THROW(m.raw(0, 1024));
+    EXPECT_THROW(m.raw(0, 1025), FatalError);
+    EXPECT_THROW(m.raw(1024, 1), FatalError);
+    EXPECT_THROW(m.ptr<float>(1022, 1), FatalError);
+}
+
+TEST(PhysMem, OverflowingRangeIsFatal)
+{
+    PhysMem m(1024);
+    EXPECT_THROW(m.raw(~0ull - 2, 8), FatalError);
+}
+
+TEST(PhysMem, MisalignedTypedAccessIsFatal)
+{
+    PhysMem m(1024);
+    EXPECT_THROW(m.ptr<float>(2, 1), FatalError);
+    EXPECT_THROW(m.ptr<std::int64_t>(4, 1), FatalError);
+    EXPECT_NO_THROW(m.ptr<std::int64_t>(8, 1));
+}
+
+TEST(PhysMem, ZeroBackingIsFatal)
+{
+    EXPECT_THROW(PhysMem{0}, FatalError);
+}
+
+TEST(PhysMem, ConstAccess)
+{
+    PhysMem m(256);
+    m.ptr<float>(0, 1)[0] = 7.0f;
+    const PhysMem &cm = m;
+    EXPECT_FLOAT_EQ(cm.ptr<float>(0, 1)[0], 7.0f);
+}
+
+} // namespace
+} // namespace mealib::dram

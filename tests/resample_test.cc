@@ -1,0 +1,207 @@
+// Tests for the 1D resampler (RESMP).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "minimkl/resample.hh"
+
+namespace mealib::mkl {
+namespace {
+
+class AllKinds : public ::testing::TestWithParam<InterpKind>
+{};
+
+TEST_P(AllKinds, ReproducesConstantSignal)
+{
+    std::vector<float> in(64, 3.25f), out(200);
+    resample1d(in.data(), 64, out.data(), 200, GetParam());
+    for (float v : out)
+        EXPECT_NEAR(v, 3.25f, 1e-4f);
+}
+
+TEST_P(AllKinds, IdentityWhenSameLength)
+{
+    Rng rng(1);
+    std::vector<float> in(50), out(50);
+    for (auto &v : in)
+        v = rng.uniform(-1.0f, 1.0f);
+    resample1d(in.data(), 50, out.data(), 50, GetParam());
+    // Output sites coincide with input samples; linear and Catmull-Rom
+    // interpolate exactly at knots, sinc within numerical tolerance.
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_NEAR(out[i], in[i], 2e-3f);
+}
+
+TEST_P(AllKinds, EndpointsPreserved)
+{
+    std::vector<float> in{2.0f, -1.0f, 4.0f, 0.5f};
+    std::vector<float> out(17);
+    resample1d(in.data(), 4, out.data(), 17, GetParam());
+    EXPECT_NEAR(out.front(), in.front(), 2e-3f);
+    EXPECT_NEAR(out.back(), in.back(), 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllKinds,
+                         ::testing::Values(InterpKind::Linear,
+                                           InterpKind::CatmullRom,
+                                           InterpKind::Sinc8));
+
+TEST(Linear, ExactOnLinearRamp)
+{
+    std::vector<float> in(16);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<float>(i);
+    std::vector<float> out(31); // midpoints included
+    resample1d(in.data(), 16, out.data(), 31, InterpKind::Linear);
+    for (std::size_t j = 0; j < out.size(); ++j)
+        EXPECT_NEAR(out[j], static_cast<float>(j) * 0.5f, 1e-5f);
+}
+
+TEST(CatmullRom, ExactOnLinearRamp)
+{
+    // Cubic interpolation reproduces degree-1 polynomials exactly.
+    std::vector<float> in(16);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = 2.0f * static_cast<float>(i) - 5.0f;
+    std::vector<float> out(46);
+    resample1d(in.data(), 16, out.data(), 46, InterpKind::CatmullRom);
+    for (std::size_t j = 1; j + 1 < out.size(); ++j) {
+        double x = static_cast<double>(j) * 15.0 / 45.0;
+        if (x < 1.0 || x > 14.0)
+            continue; // edge clamping distorts the outermost segments
+        EXPECT_NEAR(out[j], 2.0f * static_cast<float>(x) - 5.0f, 1e-4f);
+    }
+}
+
+TEST(Sinc8, ReconstructsBandlimitedTone)
+{
+    // A slow tone is far below Nyquist; windowed-sinc upsampling should
+    // track it closely away from the edges.
+    const std::int64_t n = 128, m = 512;
+    std::vector<float> in(n), out(m);
+    for (std::int64_t i = 0; i < n; ++i)
+        in[static_cast<std::size_t>(i)] = std::sin(
+            2.0 * M_PI * 4.0 * static_cast<double>(i) / n);
+    resample1d(in.data(), n, out.data(), m, InterpKind::Sinc8);
+    double step = static_cast<double>(n - 1) / static_cast<double>(m - 1);
+    for (std::int64_t j = 0; j < m; ++j) {
+        double x = static_cast<double>(j) * step;
+        if (x < 8.0 || x > n - 9.0)
+            continue;
+        double expect = std::sin(2.0 * M_PI * 4.0 * x / n);
+        EXPECT_NEAR(out[static_cast<std::size_t>(j)], expect, 5e-3)
+            << "site " << x;
+    }
+}
+
+TEST(Sinc8, BeatsLinearOnCurvedSignal)
+{
+    const std::int64_t n = 64, m = 256;
+    std::vector<float> in(n), lin(m), sinc(m);
+    for (std::int64_t i = 0; i < n; ++i)
+        in[static_cast<std::size_t>(i)] = std::sin(
+            2.0 * M_PI * 6.0 * static_cast<double>(i) / n);
+    resample1d(in.data(), n, lin.data(), m, InterpKind::Linear);
+    resample1d(in.data(), n, sinc.data(), m, InterpKind::Sinc8);
+    double step = static_cast<double>(n - 1) / static_cast<double>(m - 1);
+    double err_lin = 0.0, err_sinc = 0.0;
+    for (std::int64_t j = 0; j < m; ++j) {
+        double x = static_cast<double>(j) * step;
+        if (x < 8.0 || x > n - 9.0)
+            continue;
+        double expect = std::sin(2.0 * M_PI * 6.0 * x / n);
+        err_lin += std::fabs(lin[static_cast<std::size_t>(j)] - expect);
+        err_sinc += std::fabs(sinc[static_cast<std::size_t>(j)] - expect);
+    }
+    EXPECT_LT(err_sinc, err_lin * 0.25);
+}
+
+TEST(Complex, ResamplesRealAndImagIndependently)
+{
+    const std::int64_t n = 32, m = 64;
+    std::vector<cfloat> in(n);
+    std::vector<float> re(n), im(n);
+    Rng rng(4);
+    for (std::int64_t i = 0; i < n; ++i) {
+        re[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
+        im[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
+        in[static_cast<std::size_t>(i)] = {re[static_cast<std::size_t>(i)],
+                                           im[static_cast<std::size_t>(i)]};
+    }
+    std::vector<cfloat> out(m);
+    std::vector<float> re_out(m), im_out(m);
+    resample1dc(in.data(), n, out.data(), m, InterpKind::Linear);
+    resample1d(re.data(), n, re_out.data(), m, InterpKind::Linear);
+    resample1d(im.data(), n, im_out.data(), m, InterpKind::Linear);
+    for (std::int64_t j = 0; j < m; ++j) {
+        auto idx = static_cast<std::size_t>(j);
+        EXPECT_FLOAT_EQ(out[idx].real(), re_out[idx]);
+        EXPECT_FLOAT_EQ(out[idx].imag(), im_out[idx]);
+    }
+}
+
+TEST(InterpolateAt, ArbitrarySites)
+{
+    std::vector<float> in{0.0f, 1.0f, 4.0f, 9.0f};
+    std::vector<double> sites{0.5, 1.5, 2.5};
+    std::vector<float> out(3);
+    interpolate1dAt(in.data(), 4, sites.data(), 3, out.data(),
+                    InterpKind::Linear);
+    EXPECT_FLOAT_EQ(out[0], 0.5f);
+    EXPECT_FLOAT_EQ(out[1], 2.5f);
+    EXPECT_FLOAT_EQ(out[2], 6.5f);
+}
+
+TEST(InterpolateAt, SitesOutsideGridClamp)
+{
+    std::vector<float> in{1.0f, 2.0f};
+    std::vector<double> sites{-5.0, 10.0};
+    std::vector<float> out(2);
+    interpolate1dAt(in.data(), 2, sites.data(), 2, out.data(),
+                    InterpKind::Linear);
+    EXPECT_FLOAT_EQ(out[0], 1.0f);
+    EXPECT_FLOAT_EQ(out[1], 2.0f);
+}
+
+TEST(Resample, SingleSampleBroadcasts)
+{
+    std::vector<float> in{7.0f};
+    std::vector<float> out(5);
+    resample1d(in.data(), 1, out.data(), 5, InterpKind::Linear);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 7.0f);
+}
+
+TEST(Resample, EmptyIsFatal)
+{
+    std::vector<float> out(1);
+    EXPECT_THROW(resample1d(nullptr, 0, out.data(), 1,
+                            InterpKind::Linear),
+                 FatalError);
+}
+
+TEST(Resample, DownsamplePreservesMeanApproximately)
+{
+    Rng rng(6);
+    const std::int64_t n = 1024, m = 128;
+    std::vector<float> in(n), out(m);
+    double mean_in = 0.0;
+    for (auto &v : in) {
+        v = rng.uniform(0.0f, 1.0f);
+        mean_in += v;
+    }
+    mean_in /= static_cast<double>(n);
+    resample1d(in.data(), n, out.data(), m, InterpKind::Linear);
+    double mean_out = 0.0;
+    for (float v : out)
+        mean_out += v;
+    mean_out /= static_cast<double>(m);
+    EXPECT_NEAR(mean_out, mean_in, 0.05);
+}
+
+} // namespace
+} // namespace mealib::mkl

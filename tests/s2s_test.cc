@@ -1,0 +1,305 @@
+// Tests for the source-to-source compiler: tokenization, the Listing-1
+// translation patterns, placeholder binding, and an end-to-end
+// translate -> bind -> TDL-compile -> execute integration.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "runtime/runtime.hh"
+#include "s2s/clex.hh"
+#include "s2s/compiler.hh"
+#include "tdl/codegen.hh"
+
+namespace mealib::s2s {
+namespace {
+
+TEST(Clex, BasicTokens)
+{
+    auto t = clex("int x = foo(3, \"s\"); /* c */ // line\n#pragma omp");
+    ASSERT_GE(t.size(), 10u);
+    EXPECT_EQ(t[0].text, "int");
+    EXPECT_EQ(t[1].text, "x");
+    EXPECT_EQ(t[2].text, "=");
+    EXPECT_EQ(t[3].text, "foo");
+    EXPECT_EQ(t[5].kind, CTokKind::Number);
+    EXPECT_EQ(t[7].kind, CTokKind::String);
+    EXPECT_EQ(t.rbegin()[1].kind, CTokKind::Pragma);
+}
+
+TEST(Clex, MultiCharPunctuators)
+{
+    auto t = clex("a += b++; c <= d;");
+    EXPECT_EQ(t[1].text, "+=");
+    EXPECT_EQ(t[3].text, "++");
+    EXPECT_EQ(t[6].text, "<=");
+}
+
+TEST(Clex, SpansIndexOriginalSource)
+{
+    std::string src = "abc def";
+    auto t = clex(src);
+    EXPECT_EQ(src.substr(t[1].begin, t[1].end - t[1].begin), "def");
+}
+
+TEST(Translate, MallocFreeRewritten)
+{
+    TranslationResult r = translate(
+        "float *x = malloc(1024);\nfree(x);\n");
+    EXPECT_EQ(r.allocRewrites, 2u);
+    EXPECT_NE(r.source.find("mealib_mem_alloc(1024)"),
+              std::string::npos);
+    EXPECT_NE(r.source.find("mealib_mem_free(x)"), std::string::npos);
+    EXPECT_EQ(r.source.find("malloc("), std::string::npos);
+}
+
+TEST(Translate, BareSaxpyBecomesPlan)
+{
+    TranslationResult r =
+        translate("cblas_saxpy(1024, 2.0, x, 1, y, 1);\n");
+    EXPECT_EQ(r.plansEmitted, 1u);
+    EXPECT_NE(r.tdl.find("COMP(acc=AXPY"), std::string::npos);
+    EXPECT_NE(r.source.find("mealib_acc_plan"), std::string::npos);
+    EXPECT_NE(r.source.find("mealib_acc_execute"), std::string::npos);
+    EXPECT_NE(r.source.find("mealib_acc_destroy"), std::string::npos);
+    EXPECT_EQ(r.source.find("cblas_saxpy"), std::string::npos);
+    // Parameter file carries the literal n and symbolic buffers.
+    ASSERT_EQ(r.paramFiles.size(), 1u);
+    const std::string &pf = r.paramFiles.begin()->second;
+    EXPECT_NE(pf.find("n = 1024"), std::string::npos);
+    EXPECT_NE(pf.find("in0 = $x"), std::string::npos);
+    EXPECT_NE(pf.find("out = $y"), std::string::npos);
+}
+
+TEST(Translate, ChainedGuruPlansBecomeOnePass)
+{
+    const char *src = R"(
+plan_ct = fftwf_plan_guru_dft(0, NULL, 3, howmany_dims_ct,
+    datacube, datacube_pulse_major_padded, FFTW_FORWARD,
+    FFTW_WISDOM_ONLY);
+plan_fft = fftwf_plan_guru_dft(1, dims, 2, howmany_dims,
+    datacube_pulse_major_padded, datacube_doppler_major,
+    FFTW_FORWARD, FFTW_WISDOM_ONLY);
+fftwf_execute(plan_ct);
+fftwf_execute(plan_fft);
+)";
+    TranslationResult r = translate(src);
+    EXPECT_EQ(r.plansEmitted, 1u); // both executes in ONE pass
+    EXPECT_EQ(r.callsAbsorbed, 2u);
+    // RESHP (rank 0) chained before FFT (rank 1), as in Sec. 3.4.
+    auto reshp = r.tdl.find("COMP(acc=RESHP");
+    auto fft = r.tdl.find("COMP(acc=FFT");
+    ASSERT_NE(reshp, std::string::npos);
+    ASSERT_NE(fft, std::string::npos);
+    EXPECT_LT(reshp, fft);
+    // Plan statements are commented out, one runtime block inserted.
+    EXPECT_NE(r.source.find("MEALib (plan absorbed"), std::string::npos);
+    EXPECT_NE(r.source.find("mealib_acc_plan"), std::string::npos);
+    EXPECT_NE(r.source.find("MEALib (chained into plan"),
+              std::string::npos);
+}
+
+TEST(Translate, UnrelatedExecutesStaySeparate)
+{
+    const char *src = R"(
+p1 = fftwf_plan_guru_dft(1, dims, 1, hm, a, b, FFTW_FORWARD, 0);
+p2 = fftwf_plan_guru_dft(1, dims, 1, hm, c, d, FFTW_FORWARD, 0);
+fftwf_execute(p1);
+fftwf_execute(p2);
+)";
+    TranslationResult r = translate(src);
+    EXPECT_EQ(r.plansEmitted, 2u); // b != c, so no chaining
+}
+
+TEST(Translate, OmpNestBecomesLoopBlock)
+{
+    const char *src = R"(
+#pragma omp parallel for num_threads(4)
+for (dop = 0; dop < 256; ++dop)
+  for (block = 0; block < N_BLOCKS; ++block)
+    for (sv = 0; sv < 64; ++sv)
+      for (cell = 0; cell < TBS; ++cell)
+        cblas_cdotc_sub(36,
+            &adaptive_weights[dop][block][sv][0], 1,
+            &snapshots[dop][block][cell], TBS,
+            &prods[dop][block][sv][cell]);
+)";
+    TranslationResult r = translate(src);
+    EXPECT_EQ(r.plansEmitted, 1u);
+    EXPECT_NE(r.tdl.find("LOOP(dims=\"256x$N_BLOCKSx64x$TBS\")"),
+              std::string::npos);
+    EXPECT_NE(r.tdl.find("COMP(acc=DOT"), std::string::npos);
+    EXPECT_EQ(r.source.find("#pragma omp"), std::string::npos);
+    EXPECT_EQ(r.source.find("cblas_cdotc_sub"), std::string::npos);
+    // Known loop extents fold into the absorbed-call count.
+    EXPECT_EQ(r.callsAbsorbed, 256u * 64u);
+    // Buffer identifiers feed the parameter file.
+    const std::string &pf = r.paramFiles.begin()->second;
+    EXPECT_NE(pf.find("in0 = $adaptive_weights"), std::string::npos);
+    EXPECT_NE(pf.find("in1 = $snapshots"), std::string::npos);
+    EXPECT_NE(pf.find("out = $prods"), std::string::npos);
+    EXPECT_NE(pf.find("inc1 = $TBS"), std::string::npos);
+}
+
+TEST(Translate, SimatcopyAndInterpolate)
+{
+    TranslationResult r = translate(
+        "mkl_simatcopy('R', 'T', 512, 512, 1.0, buf, 512, 512);\n"
+        "dfsInterpolate1D(sig, 1024, sites, 2048);\n");
+    EXPECT_EQ(r.plansEmitted, 2u);
+    EXPECT_NE(r.tdl.find("COMP(acc=RESHP"), std::string::npos);
+    EXPECT_NE(r.tdl.find("COMP(acc=RESMP"), std::string::npos);
+}
+
+TEST(Translate, UnknownCodeLeftUntouched)
+{
+    const char *src = "int main() { return compute(a, b) + 1; }\n";
+    TranslationResult r = translate(src);
+    EXPECT_EQ(r.plansEmitted, 0u);
+    EXPECT_EQ(r.source, src);
+}
+
+TEST(BindParams, SubstitutesPlaceholders)
+{
+    std::string text = "n = $len\nin0 = $x\nout = $y\n";
+    std::string bound = bindParams(
+        text, {{"len", 128}, {"x", 0x1000}, {"y", 0x2000}});
+    EXPECT_NE(bound.find("n = 128"), std::string::npos);
+    EXPECT_NE(bound.find("in0 = 4096"), std::string::npos);
+    EXPECT_EQ(bound.find('$'), std::string::npos);
+}
+
+TEST(BindParams, MissingBindingIsFatal)
+{
+    EXPECT_THROW(bindParams("n = $oops\n", {}), FatalError);
+}
+
+TEST(EndToEnd, TranslatedSaxpyExecutesOnAccelerators)
+{
+    // Legacy source -> s2s -> bind -> TDL -> descriptor -> accelerator.
+    TranslationResult r = translate(
+        "float *x = malloc(4096);\nfloat *y = malloc(4096);\n"
+        "cblas_saxpy(1000, 2.0, x, 1, y, 1);\n");
+    ASSERT_EQ(r.plansEmitted, 1u);
+
+    runtime::RuntimeConfig cfg;
+    cfg.backingBytes = 16_MiB;
+    runtime::MealibRuntime rt(cfg);
+    auto *x = static_cast<float *>(rt.memAlloc(4096));
+    auto *y = static_cast<float *>(rt.memAlloc(4096));
+    for (int i = 0; i < 1000; ++i) {
+        x[i] = static_cast<float>(i);
+        y[i] = 1.0f;
+    }
+
+    std::map<std::string, std::uint64_t> syms{
+        {"x", rt.physOf(x)}, {"y", rt.physOf(y)}};
+    auto resolve = [&](const std::string &name) {
+        auto it = r.paramFiles.find(name);
+        fatalIf(it == r.paramFiles.end(), "missing param file ", name);
+        return bindParams(it->second, syms);
+    };
+    accel::DescriptorProgram prog = tdl::compileTdl(
+        bindParams(r.tdl, syms), resolve);
+    auto h = rt.accPlan(prog);
+    rt.accExecute(h);
+    rt.accDestroy(h);
+
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_FLOAT_EQ(y[i], 2.0f * static_cast<float>(i) + 1.0f);
+}
+
+TEST(Translate, BareSgemvBecomesPlan)
+{
+    TranslationResult r = translate(
+        "cblas_sgemv(CblasRowMajor, CblasNoTrans, 512, 256, 1.0, A, "
+        "256, x, 1, 0.0, y, 1);\n");
+    EXPECT_EQ(r.plansEmitted, 1u);
+    EXPECT_NE(r.tdl.find("COMP(acc=GEMV"), std::string::npos);
+    const std::string &pf = r.paramFiles.begin()->second;
+    EXPECT_NE(pf.find("m = 512"), std::string::npos);
+    EXPECT_NE(pf.find("n = 256"), std::string::npos);
+    EXPECT_NE(pf.find("in0 = $A"), std::string::npos);
+    EXPECT_NE(pf.find("in1 = $x"), std::string::npos);
+    EXPECT_NE(pf.find("out = $y"), std::string::npos);
+}
+
+TEST(Translate, ScsrgemvBecomesSpmvPlan)
+{
+    TranslationResult r = translate(
+        "mkl_scsrgemv(\"N\", &nrows, vals, ia, ja, xvec, yvec);\n");
+    EXPECT_EQ(r.plansEmitted, 1u);
+    EXPECT_NE(r.tdl.find("COMP(acc=SPMV"), std::string::npos);
+    const std::string &pf = r.paramFiles.begin()->second;
+    EXPECT_NE(pf.find("in0 = $ia"), std::string::npos);
+    EXPECT_NE(pf.find("in2 = $vals"), std::string::npos);
+    EXPECT_NE(pf.find("in3 = $xvec"), std::string::npos);
+    // Dimensions are runtime-bound placeholders with diagnostics.
+    EXPECT_NE(pf.find("$spmv_nnz"), std::string::npos);
+    EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(Translate, SaxpyEmitsBetaOne)
+{
+    // cblas_saxpy accumulates into y; the AXPY accelerator computes the
+    // axpby superset, so the compiler must pin beta = 1.
+    TranslationResult r =
+        translate("cblas_saxpy(64, 2.0, x, 1, y, 1);\n");
+    const std::string &pf = r.paramFiles.begin()->second;
+    EXPECT_NE(pf.find("beta = 1"), std::string::npos);
+}
+
+TEST(Translate, DestroyPlanIsCommentedOut)
+{
+    TranslationResult r = translate(
+        "p = fftwf_plan_guru_dft(1, d, 1, h, a, b, FFTW_FORWARD, 0);\n"
+        "fftwf_execute(p);\n"
+        "fftwf_destroy_plan(p);\n");
+    EXPECT_NE(r.source.find("MEALib (plan destroyed"),
+              std::string::npos);
+    // No live fftwf_destroy_plan call remains.
+    auto pos = r.source.find("fftwf_destroy_plan");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_NE(r.source.rfind("/*", pos), std::string::npos);
+}
+
+TEST(Translate, TwoDeepOmpNest)
+{
+    const char *src = R"(
+#pragma omp parallel for
+for (i = 0; i < 32; ++i)
+  for (j = 0; j < 8; ++j)
+    cblas_saxpy(128, 0.5, &a[i][j], 1, &b[i][j], 1);
+)";
+    TranslationResult r = translate(src);
+    EXPECT_EQ(r.plansEmitted, 1u);
+    EXPECT_NE(r.tdl.find("LOOP(dims=\"32x8\")"), std::string::npos);
+    EXPECT_EQ(r.callsAbsorbed, 32u * 8u);
+}
+
+TEST(Translate, NonAccelCallInsideLoopLeftAlone)
+{
+    const char *src = R"(
+#pragma omp parallel for
+for (i = 0; i < 32; ++i)
+    my_custom_kernel(a, b, i);
+)";
+    TranslationResult r = translate(src);
+    EXPECT_EQ(r.plansEmitted, 0u);
+    EXPECT_NE(r.source.find("my_custom_kernel"), std::string::npos);
+}
+
+TEST(Translate, MultipleSitesKeepSourceOrder)
+{
+    TranslationResult r = translate(
+        "cblas_sdot(64, a, 1, b, 1);\n"
+        "mkl_simatcopy('R', 'T', 32, 32, 1.0, m, 32, 32);\n");
+    auto dot = r.tdl.find("acc=DOT");
+    auto reshp = r.tdl.find("acc=RESHP");
+    ASSERT_NE(dot, std::string::npos);
+    ASSERT_NE(reshp, std::string::npos);
+    EXPECT_LT(dot, reshp);
+    EXPECT_EQ(r.plansEmitted, 2u);
+}
+
+} // namespace
+} // namespace mealib::s2s
