@@ -162,8 +162,8 @@ solveCgMealib(const mkl::CsrMatrix &a, const std::vector<float> &b,
     auto h_dots = rt.accPlan(dots_prog);
     res.descriptors = 2;
 
-    auto run_axpby = [&](float alpha, const float *xin, float beta,
-                         float *yout) {
+    auto plan_axpby = [&](float alpha, const float *xin, float beta,
+                          float *yout) {
         // alpha/beta change per iteration, so these plans are rebuilt —
         // the price of baking scalars into the Parameter Region.
         OpCall c;
@@ -176,11 +176,15 @@ solveCgMealib(const mkl::CsrMatrix &a, const std::vector<float> &b,
         DescriptorProgram prog;
         prog.addComp(c);
         prog.addPassEnd();
-        auto h = rt.accPlan(prog);
-        rt.accExecute(h);
-        rt.accDestroy(h);
         res.descriptors++;
         res.executes++;
+        return rt.accPlan(prog);
+    };
+    auto run_axpby = [&](float alpha, const float *xin, float beta,
+                         float *yout) {
+        auto h = plan_axpby(alpha, xin, beta, yout);
+        rt.accExecute(h);
+        rt.accDestroy(h);
     };
 
     double bnorm = std::sqrt(static_cast<double>(
@@ -199,8 +203,15 @@ solveCgMealib(const mkl::CsrMatrix &a, const std::vector<float> &b,
         double pap = dots[0];
         fatalIf(pap <= 0.0, "cg: matrix is not positive definite");
         float alpha = static_cast<float>(rs / pap);
-        run_axpby(alpha, p, 1.0f, x);   // x += alpha p
-        run_axpby(-alpha, ap, 1.0f, r); // r -= alpha ap
+        // x += alpha p and r -= alpha ap touch disjoint vectors: submit
+        // both and let the hazard tracker prove they may overlap.
+        auto h_x = plan_axpby(alpha, p, 1.0f, x);
+        auto h_r = plan_axpby(-alpha, ap, 1.0f, r);
+        rt.accSubmit(h_x);
+        rt.accSubmit(h_r);
+        rt.waitAll();
+        rt.accDestroy(h_x);
+        rt.accDestroy(h_r);
         rt.accExecute(h_dots);          // refresh r.r after the update
         res.executes++;
         double rs_new = dots[1];

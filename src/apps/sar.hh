@@ -34,6 +34,11 @@ struct SarResult
     std::vector<mkl::cfloat> image; //!< azimuth spectrum, row-major
     Cost total;                     //!< accelerator + invocation cost
     std::uint64_t descriptors = 0;
+    /** Overlap-aware wall clock of this run's descriptors (timeline
+     * span between entry and the last DONE). The software-chained pair
+     * is submitted asynchronously; the RESMP->FFT RAW hazard on the
+     * intermediate serializes it back to the blocking schedule. */
+    double criticalPathSeconds = 0.0;
 };
 
 /**
@@ -49,6 +54,10 @@ struct FftLoopResult
 {
     Cost total;
     std::uint64_t descriptors = 0;
+    /** Overlap-aware wall clock (see SarResult). The software loop
+     * submits all N descriptors before waiting; on a multi-stack
+     * runtime with disjoint buffers they spread and overlap. */
+    double criticalPathSeconds = 0.0;
 };
 
 /**

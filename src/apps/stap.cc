@@ -127,22 +127,25 @@ steeringMatrix(const StapParams &p)
 }
 
 /**
- * Marshal space-time snapshots from doppler-space data.
- * doppler layout: [chan][range][dop]; snapshot layout:
- * [dop][block][cell][dof] with dof = t * nChan + chan and the t-th
- * temporal tap reading doppler bin (dop + t) mod nDop.
+ * Marshal space-time snapshots from doppler-space data for doppler bins
+ * [dopLo, dopHi). doppler layout: [chan][range][dop]; snapshot layout:
+ * [dop - dopLo][block][cell][dof] with dof = t * nChan + chan and the
+ * t-th temporal tap reading doppler bin (dop + t) mod nDop.
  */
 void
-buildSnapshots(const StapParams &p, const cfloat *doppler, cfloat *snap)
+buildSnapshots(const StapParams &p, const cfloat *doppler, cfloat *snap,
+               unsigned dopLo, unsigned dopHi)
 {
     const unsigned l = p.dofLen();
-    for (unsigned dop = 0; dop < p.nDop; ++dop) {
+    for (unsigned dop = dopLo; dop < dopHi; ++dop) {
         for (unsigned b = 0; b < p.nBlocks; ++b) {
             for (unsigned c = 0; c < p.tbs; ++c) {
                 unsigned range = b * p.tbs + c;
                 cfloat *out =
                     snap +
-                    (((static_cast<std::size_t>(dop) * p.nBlocks + b) *
+                    (((static_cast<std::size_t>(dop - dopLo) *
+                           p.nBlocks +
+                       b) *
                           p.tbs +
                       c)) *
                         l;
@@ -163,12 +166,15 @@ buildSnapshots(const StapParams &p, const cfloat *doppler, cfloat *snap)
 }
 
 /**
- * Covariance + Cholesky + two triangular solves per (dop, block);
- * weights come out as [dop][block][sv][dof] (Listing 1's layout).
+ * Covariance + Cholesky + two triangular solves per (dop, block) for
+ * doppler bins [dopLo, dopHi); @p snap and @p weights address the slice
+ * (index 0 is bin dopLo). Weights come out as [dop - dopLo][block][sv]
+ * [dof] (Listing 1's layout).
  * @return the number of library calls issued (cherk + 2 ctrsm each).
  */
 std::uint64_t
-computeWeights(const StapParams &p, const cfloat *snap, cfloat *weights)
+computeWeights(const StapParams &p, const cfloat *snap, cfloat *weights,
+               unsigned dopLo, unsigned dopHi)
 {
     const unsigned l = p.dofLen();
     const std::vector<cfloat> v = steeringMatrix(p);
@@ -176,10 +182,12 @@ computeWeights(const StapParams &p, const cfloat *snap, cfloat *weights)
     std::vector<cfloat> y(static_cast<std::size_t>(l) * p.nSteering);
     std::uint64_t calls = 0;
 
-    for (unsigned dop = 0; dop < p.nDop; ++dop) {
+    for (unsigned dop = dopLo; dop < dopHi; ++dop) {
         for (unsigned b = 0; b < p.nBlocks; ++b) {
             const cfloat *a =
-                snap + ((static_cast<std::size_t>(dop) * p.nBlocks + b) *
+                snap + ((static_cast<std::size_t>(dop - dopLo) *
+                             p.nBlocks +
+                         b) *
                         p.tbs) *
                            l;
             // R = A^H A over the training block (A is tbs x l).
@@ -209,7 +217,8 @@ computeWeights(const StapParams &p, const cfloat *snap, cfloat *weights)
             // Repack column sv of y into the [sv][dof] weight layout.
             cfloat *w =
                 weights +
-                (static_cast<std::size_t>(dop) * p.nBlocks + b) *
+                (static_cast<std::size_t>(dop - dopLo) * p.nBlocks +
+                 b) *
                     p.nSteering * l;
             for (unsigned s = 0; s < p.nSteering; ++s)
                 for (unsigned d = 0; d < l; ++d)
@@ -258,6 +267,17 @@ marshalProfile(const StapParams &p)
     prof.memEff = 0.4; // gather-style addressing
     prof.simdEff = 0.5;
     prof.flops = 1.0;
+    return prof;
+}
+
+/** @p prof with its work scaled to a doppler-slice fraction @p f. */
+host::KernelProfile
+scaled(host::KernelProfile prof, double f)
+{
+    prof.flops *= f;
+    prof.bytesRead *= f;
+    prof.bytesWritten *= f;
+    prof.callOverheads *= f;
     return prof;
 }
 
@@ -372,11 +392,11 @@ runStapHost(const StapParams &p)
         .execute(mid.data(), doppler.data());
 
     std::vector<cfloat> snap(p.dotCalls() / p.nSteering * l);
-    buildSnapshots(p, doppler.data(), snap.data());
+    buildSnapshots(p, doppler.data(), snap.data(), 0, p.nDop);
     std::vector<cfloat> weights(static_cast<std::size_t>(p.nDop) *
                                 p.nBlocks * p.nSteering * l);
     std::uint64_t blas3_calls =
-        computeWeights(p, snap.data(), weights.data());
+        computeWeights(p, snap.data(), weights.data(), 0, p.nDop);
 
     std::vector<cfloat> prods(p.dotCalls());
     for (unsigned dop = 0; dop < p.nDop; ++dop)
@@ -479,8 +499,9 @@ runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
     rt.accDestroy(h1);
 
     // Host stages: snapshots, covariance, solves, weight repacking.
-    buildSnapshots(p, doppler, snap);
-    std::uint64_t blas3_calls = computeWeights(p, snap, weights);
+    buildSnapshots(p, doppler, snap, 0, p.nDop);
+    std::uint64_t blas3_calls =
+        computeWeights(p, snap, weights, 0, p.nDop);
     host::CpuModel cpu(host::haswell4770k());
     rt.runOnHost(weightStageProfile(p));
     rt.runOnHost(marshalProfile(p));
@@ -514,6 +535,7 @@ runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
     // accelerators own the DRAM.
     Cost idle = cpu.idleCost(res.accel.seconds + res.invocation.seconds);
     res.host.joules += idle.joules;
+    res.criticalPathSeconds = acct.makespanSeconds;
 
     res.libraryCalls = 2 + 2 + blas3_calls + p.dotCalls() + 1;
     res.descriptors = 3;
@@ -524,6 +546,141 @@ runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
                       static_cast<void *>(weights),
                       static_cast<void *>(prods),
                       static_cast<void *>(out)})
+        rt.memFree(ptr);
+    return res;
+}
+
+StapResult
+runStapMealibAsync(const StapParams &p, runtime::MealibRuntime &rt)
+{
+    StapResult res;
+    const unsigned l = p.dofLen();
+    const std::size_t cube_elems =
+        static_cast<std::size_t>(p.nChan) * p.nDop * p.nRange();
+    // One doppler slice per stack; every slice's working set lives on
+    // its own Local Memory Stack so the submitted descriptors pay no
+    // remote-link penalty.
+    const unsigned slices = std::min(rt.numStacks(), p.nDop);
+
+    rt.resetAccounting();
+
+    // The datacube and its doppler spectrum stay on stack 0: the corner
+    // turn + FFT descriptor is a pipeline head every slice depends on.
+    auto *cube = static_cast<cfloat *>(rt.memAlloc(cube_elems * 8));
+    auto *mid = static_cast<cfloat *>(rt.memAlloc(cube_elems * 8));
+    auto *doppler = static_cast<cfloat *>(rt.memAlloc(cube_elems * 8));
+
+    std::vector<cfloat> cube_data = generateCube(p);
+    std::copy(cube_data.begin(), cube_data.end(), cube);
+
+    StapCalls calls = buildCalls(p, rt.physOf(cube), rt.physOf(mid),
+                                 rt.physOf(doppler), 0, 0, 0, 0);
+
+    // Descriptor 1: corner turn chained into the doppler FFT.
+    DescriptorProgram d1;
+    d1.addLoop(calls.reshapeLoop, 3);
+    d1.addComp(calls.reshape);
+    d1.addComp(calls.fft);
+    d1.addPassEnd();
+    auto h1 = rt.accPlan(d1);
+    rt.accExecute(h1); // blocking: the host marshals from `doppler`
+    rt.accDestroy(h1);
+
+    // Slice boundaries: near-equal contiguous doppler ranges.
+    std::vector<unsigned> lo(slices + 1, 0);
+    for (unsigned s = 0; s < slices; ++s)
+        lo[s + 1] = lo[s] + p.nDop / slices +
+                    (s < p.nDop % slices ? 1 : 0);
+
+    struct Slice
+    {
+        cfloat *snap, *weights, *prods, *out;
+        runtime::AccPlanHandle plan;
+    };
+    std::vector<Slice> sl(slices);
+    std::uint64_t blas3_calls = 0;
+
+    for (unsigned s = 0; s < slices; ++s) {
+        const unsigned dops = lo[s + 1] - lo[s];
+        const std::size_t rows =
+            static_cast<std::size_t>(dops) * p.nBlocks;
+        const std::size_t dot_calls = rows * p.nSteering * p.tbs;
+        sl[s].snap = static_cast<cfloat *>(
+            rt.memAllocOn(s, rows * p.tbs * l * 8));
+        sl[s].weights = static_cast<cfloat *>(
+            rt.memAllocOn(s, rows * p.nSteering * l * 8));
+        sl[s].prods =
+            static_cast<cfloat *>(rt.memAllocOn(s, dot_calls * 8));
+        sl[s].out =
+            static_cast<cfloat *>(rt.memAllocOn(s, dot_calls * 8));
+
+        // Host: marshal + adaptive weights for THIS slice; slices
+        // already submitted keep executing near memory meanwhile.
+        buildSnapshots(p, doppler, sl[s].snap, lo[s], lo[s + 1]);
+        blas3_calls += computeWeights(p, sl[s].snap, sl[s].weights,
+                                      lo[s], lo[s + 1]);
+        std::fill(sl[s].out, sl[s].out + dot_calls, cfloat{});
+        const double frac =
+            static_cast<double>(dops) / static_cast<double>(p.nDop);
+        rt.runOnHost(scaled(weightStageProfile(p), frac));
+        rt.runOnHost(scaled(marshalProfile(p), frac));
+
+        // This slice's inner products + scaling as one descriptor,
+        // submitted to the slice's home stack.
+        StapCalls sc = buildCalls(
+            p, 0, 0, 0, rt.physOf(sl[s].weights), rt.physOf(sl[s].snap),
+            rt.physOf(sl[s].prods), rt.physOf(sl[s].out));
+        sc.dotLoop.dims = {dops, p.nBlocks, p.nSteering, p.tbs};
+        sc.axpy.n = dot_calls;
+        DescriptorProgram d;
+        d.addLoop(sc.dotLoop, 2);
+        d.addComp(sc.dot);
+        d.addPassEnd();
+        d.addComp(sc.axpy);
+        d.addPassEnd();
+        sl[s].plan = rt.accPlan(d);
+        rt.accSubmitOn(sl[s].plan, s);
+    }
+    rt.waitAll();
+
+    res.prods.resize(p.dotCalls());
+    for (unsigned s = 0; s < slices; ++s) {
+        const std::size_t off = static_cast<std::size_t>(lo[s]) *
+                                p.nBlocks * p.nSteering * p.tbs;
+        const std::size_t count =
+            static_cast<std::size_t>(lo[s + 1] - lo[s]) * p.nBlocks *
+            p.nSteering * p.tbs;
+        std::copy(sl[s].out, sl[s].out + count,
+                  res.prods.begin() + static_cast<std::ptrdiff_t>(off));
+        rt.accDestroy(sl[s].plan);
+    }
+
+    const runtime::RuntimeAccounting &acct = rt.accounting();
+    res.host = acct.host;
+    res.accel = acct.accel;
+    res.invocation = acct.invocation;
+    res.timeByAccel = acct.timeByAccel;
+    res.energyByAccel = acct.energyByAccel;
+    res.criticalPathSeconds = acct.makespanSeconds;
+    // The host burns package power only where the overlap-aware
+    // timeline leaves it idle.
+    host::CpuModel cpu(host::haswell4770k());
+    const double idle_s =
+        std::max(0.0, acct.makespanSeconds - acct.hostBusySeconds);
+    res.host.joules += cpu.idleCost(idle_s).joules;
+
+    res.libraryCalls = 2 + 2 + blas3_calls + p.dotCalls() + 1;
+    res.descriptors = 1 + slices;
+
+    for (unsigned s = 0; s < slices; ++s)
+        for (void *ptr : {static_cast<void *>(sl[s].snap),
+                          static_cast<void *>(sl[s].weights),
+                          static_cast<void *>(sl[s].prods),
+                          static_cast<void *>(sl[s].out)})
+            rt.memFree(ptr);
+    for (void *ptr : {static_cast<void *>(cube),
+                      static_cast<void *>(mid),
+                      static_cast<void *>(doppler)})
         rt.memFree(ptr);
     return res;
 }

@@ -82,6 +82,10 @@ struct StapResult
     Breakdown energyByAccel; //!< accel joules keyed by kind
     std::uint64_t descriptors = 0; //!< accelerator descriptors used
     std::uint64_t libraryCalls = 0; //!< logical library calls issued
+    /** Overlap-aware wall clock of the run (the runtime's makespan).
+     * Equals total().seconds for the blocking pipelines; smaller for
+     * runStapMealibAsync when stacks and host work overlap. */
+    double criticalPathSeconds = 0.0;
 
     Cost
     total() const
@@ -96,6 +100,17 @@ StapResult runStapHost(const StapParams &p);
 /** Run STAP with memory-bounded calls on MEALib accelerators. */
 StapResult runStapMealib(const StapParams &p,
                          runtime::MealibRuntime &rt);
+
+/**
+ * runStapMealib with the weight/DOT/AXPY phase sliced by doppler bin:
+ * each slice's buffers live on their own memory stack (memAllocOn), its
+ * descriptor is accSubmit()ed to that stack, and the host computes the
+ * next slice's adaptive weights while earlier slices' inner products run
+ * near memory. Numerically identical to the blocking pipeline; the
+ * overlap shows up as criticalPathSeconds < total().seconds.
+ */
+StapResult runStapMealibAsync(const StapParams &p,
+                              runtime::MealibRuntime &rt);
 
 } // namespace mealib::apps
 

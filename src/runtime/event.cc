@@ -1,0 +1,148 @@
+#include "runtime/event.hh"
+
+#include "common/logging.hh"
+
+namespace mealib::runtime {
+
+namespace {
+
+using accel::AccelKind;
+using accel::Instr;
+using accel::LoopSpec;
+using accel::OpCall;
+using accel::OperandRef;
+
+/** One operand's role in a COMP: its ref, per-iteration footprint in
+ * bytes, and whether the accelerator writes it. */
+struct OperandSpan
+{
+    const OperandRef *op;
+    std::uint64_t bytes;
+    bool write;
+};
+
+/** Bytes a strided vector of @p n elements spans. */
+std::uint64_t
+strideSpan(std::uint64_t n, std::int64_t inc, std::uint64_t elem)
+{
+    if (n == 0)
+        return 0;
+    std::uint64_t mag = static_cast<std::uint64_t>(inc < 0 ? -inc : inc);
+    return (1 + (n - 1) * mag) * elem;
+}
+
+/** Per-iteration operand footprints of @p c, mirroring the functional
+ * executor's accesses (AcceleratorLayer::executeComp). */
+std::vector<OperandSpan>
+operandSpans(const OpCall &c)
+{
+    const std::uint64_t es = c.elemBytes();
+    switch (c.kind) {
+      case AccelKind::AXPY:
+        return {{&c.in0, strideSpan(c.n, c.inc0, es), false},
+                {&c.out, strideSpan(c.n, c.inc1, es), true}};
+      case AccelKind::DOT:
+        return {{&c.in0, strideSpan(c.n, c.inc0, es), false},
+                {&c.in1, strideSpan(c.n, c.inc1, es), false},
+                {&c.out, es, true}};
+      case AccelKind::GEMV:
+        return {{&c.in0, c.m * c.n * es, false},
+                {&c.in1, strideSpan(c.n, c.inc0, es), false},
+                {&c.out, c.m * es, true}};
+      case AccelKind::SPMV:
+        return {{&c.in0, (c.m + 1) * 8, false},
+                {&c.in1, c.k * 4, false},
+                {&c.in2, c.k * 4, false},
+                {&c.in3, c.n * 4, false},
+                {&c.out, c.m * 4, true}};
+      case AccelKind::RESMP:
+        return {{&c.in0, c.n * es, false}, {&c.out, c.m * es, true}};
+      case AccelKind::FFT: {
+        std::uint64_t pts =
+            c.n * (c.k > 0 ? c.k : std::uint64_t{1}) * c.m;
+        return {{&c.in0, pts * es, false}, {&c.out, pts * es, true}};
+      }
+      case AccelKind::RESHP:
+        return {{&c.in0, c.m * c.n * es, false},
+                {&c.out, c.m * c.n * es, true}};
+      default:
+        panic("operandSpans: bad kind");
+    }
+}
+
+/** Interval of @p span expanded over @p loop's strides. */
+AccessInterval
+expand(const OperandSpan &span, const LoopSpec &loop)
+{
+    std::int64_t min_off = 0, max_off = 0;
+    for (unsigned d = 0; d < accel::kMaxLoopDims; ++d) {
+        std::int64_t reach =
+            span.op->stride[d] *
+            (static_cast<std::int64_t>(loop.dims[d]) - 1);
+        if (reach > 0)
+            max_off += reach;
+        else
+            min_off += reach;
+    }
+    AccessInterval iv;
+    iv.lo = span.op->base + static_cast<Addr>(min_off);
+    iv.hi = span.op->base + static_cast<Addr>(max_off) + span.bytes;
+    iv.write = span.write;
+    return iv;
+}
+
+} // namespace
+
+std::vector<AccessInterval>
+accessIntervals(const accel::DescriptorProgram &prog)
+{
+    std::vector<AccessInterval> out;
+    LoopSpec active;
+    std::uint32_t remaining = 0;
+    for (const Instr &in : prog.instrs) {
+        if (in.type == Instr::Type::Loop) {
+            active = in.loop;
+            remaining = in.bodyCount;
+            continue;
+        }
+        if (in.type == Instr::Type::Comp) {
+            const LoopSpec loop = remaining ? active : LoopSpec{};
+            for (const OperandSpan &span : operandSpans(in.call))
+                if (span.bytes > 0)
+                    out.push_back(expand(span, loop));
+        }
+        if (remaining && --remaining == 0)
+            active = LoopSpec{};
+    }
+    return out;
+}
+
+unsigned
+Event::stack() const
+{
+    fatalIf(!valid(), "Event::stack: invalid event");
+    return state_->stack;
+}
+
+double
+Event::startSeconds() const
+{
+    fatalIf(!valid(), "Event::startSeconds: invalid event");
+    return state_->startSeconds;
+}
+
+double
+Event::finishSeconds() const
+{
+    fatalIf(!valid(), "Event::finishSeconds: invalid event");
+    return state_->finishSeconds;
+}
+
+const accel::ExecStats &
+Event::stats() const
+{
+    fatalIf(!valid(), "Event::stats: invalid event");
+    return state_->stats;
+}
+
+} // namespace mealib::runtime

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Completion events and hazard intervals of the asynchronous
+ * command-queue engine.
+ *
+ * Every accSubmit() returns an Event. The runtime derives, from the
+ * plan's Parameter-Region operands, the physical byte intervals the
+ * descriptor will read and write (conservatively expanded over LOOP
+ * strides); overlapping intervals between in-flight commands induce
+ * RAW/WAR/WAW dependencies that serialize the dependent command after
+ * its producers on the simulated timeline. Event::wait() advances the
+ * host track to the command's DONE time (the Listing-2 poll, made
+ * non-blocking at submit time).
+ */
+
+#ifndef MEALIB_RUNTIME_EVENT_HH
+#define MEALIB_RUNTIME_EVENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "accel/descriptor.hh"
+#include "accel/layer.hh"
+#include "common/units.hh"
+
+namespace mealib::runtime {
+
+class MealibRuntime;
+
+/** Half-open physical byte range touched by a descriptor operand. */
+struct AccessInterval
+{
+    Addr lo = 0;        //!< first byte touched
+    Addr hi = 0;        //!< one past the last byte touched
+    bool write = false; //!< written (out operand) vs read
+
+    bool
+    overlaps(const AccessInterval &o) const
+    {
+        return lo < o.hi && o.lo < hi;
+    }
+
+    /** Two accesses conflict when they overlap and either writes. */
+    bool
+    conflictsWith(const AccessInterval &o) const
+    {
+        return (write || o.write) && overlaps(o);
+    }
+};
+
+/**
+ * Conservative access intervals of @p prog: one interval per COMP
+ * operand, expanded over the covering LOOP's strides (min/max effective
+ * address plus the operand's per-iteration footprint).
+ */
+std::vector<AccessInterval>
+accessIntervals(const accel::DescriptorProgram &prog);
+
+namespace detail {
+
+/** Shared completion record of one submitted command. */
+struct EventState
+{
+    std::uint64_t id = 0;       //!< submission order, 1-based
+    unsigned stack = 0;         //!< stack the command executed on
+    double submitSeconds = 0.0; //!< host-track time of the submit
+    double startSeconds = 0.0;  //!< accelerator start (hazards resolved)
+    double finishSeconds = 0.0; //!< accelerator DONE time
+    std::uint64_t epoch = 0;    //!< runtime accounting epoch at submit
+    bool waited = false;        //!< host has observed DONE
+    accel::ExecStats stats;     //!< full cost of this invocation
+};
+
+} // namespace detail
+
+/**
+ * Handle to one submitted command. Copyable; all copies share the
+ * completion record. A default-constructed Event is invalid.
+ */
+class Event
+{
+  public:
+    Event() = default;
+
+    /** Block the host track until DONE. @return the invocation stats. */
+    const accel::ExecStats &wait();
+
+    bool valid() const { return state_ != nullptr; }
+
+    /** Stack the command was scheduled on. */
+    unsigned stack() const;
+
+    /** Accelerator-track start time, seconds on the simulated clock. */
+    double startSeconds() const;
+
+    /** Accelerator-track completion time on the simulated clock. */
+    double finishSeconds() const;
+
+    /** Invocation stats (valid as soon as the submit returns). */
+    const accel::ExecStats &stats() const;
+
+  private:
+    friend class MealibRuntime;
+    Event(MealibRuntime *rt, std::shared_ptr<detail::EventState> state)
+        : rt_(rt), state_(std::move(state))
+    {
+    }
+
+    MealibRuntime *rt_ = nullptr;
+    std::shared_ptr<detail::EventState> state_;
+};
+
+} // namespace mealib::runtime
+
+#endif // MEALIB_RUNTIME_EVENT_HH

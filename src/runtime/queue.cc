@@ -1,0 +1,54 @@
+#include "runtime/queue.hh"
+
+#include "common/logging.hh"
+
+namespace mealib::runtime {
+
+CommandQueue::CommandQueue(unsigned depth) : depth_(depth)
+{
+    fatalIf(depth == 0, "command queue: depth must be at least 1");
+}
+
+double
+CommandQueue::admitSeconds(double now) const
+{
+    if (inflightFinish_.size() < depth_)
+        return now;
+    // The host must wait for enough retirements to free one slot;
+    // finish times are non-decreasing, so the blocking command is the
+    // one `depth` places from the tail.
+    double unblock =
+        inflightFinish_[inflightFinish_.size() - depth_];
+    return unblock > now ? unblock : now;
+}
+
+void
+CommandQueue::push(double start, double finish)
+{
+    panicIf(finish < start, "command queue: negative occupancy");
+    panicIf(!inflightFinish_.empty() && finish < inflightFinish_.back(),
+            "command queue: out-of-order completion");
+    inflightFinish_.push_back(finish);
+    if (finish > busyUntil_)
+        busyUntil_ = finish;
+    busySeconds_ += finish - start;
+    submitted_++;
+}
+
+void
+CommandQueue::retireUpTo(double now)
+{
+    while (!inflightFinish_.empty() && inflightFinish_.front() <= now)
+        inflightFinish_.pop_front();
+}
+
+void
+CommandQueue::reset()
+{
+    inflightFinish_.clear();
+    busyUntil_ = 0.0;
+    busySeconds_ = 0.0;
+    submitted_ = 0;
+}
+
+} // namespace mealib::runtime

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-stack command queues of the asynchronous execution engine.
+ *
+ * Each memory stack owns one in-order queue. The host enqueues
+ * submitted plans; a queue admits at most `depth` outstanding commands
+ * (the hardware's command-buffer size), so a submit against a full
+ * queue stalls the host track until the oldest command retires — the
+ * queue-depth amortization knob swept by bench/ablation_queue.
+ *
+ * Commands on one queue execute back to back (the stack's decode unit
+ * is busy for the whole invocation); overlap comes from *different*
+ * stacks running their queues concurrently while the host keeps
+ * issuing.
+ */
+
+#ifndef MEALIB_RUNTIME_QUEUE_HH
+#define MEALIB_RUNTIME_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace mealib::runtime {
+
+/** One per-stack in-order command queue on the simulated timeline. */
+class CommandQueue
+{
+  public:
+    explicit CommandQueue(unsigned depth);
+
+    /**
+     * Earliest host-track time (>= @p now) at which a new command may
+     * be enqueued: @p now while a slot is free, otherwise the retire
+     * time of the command that frees one.
+     */
+    double admitSeconds(double now) const;
+
+    /** Record a command occupying the stack over [start, finish). */
+    void push(double start, double finish);
+
+    /** Retire every command whose finish time is <= @p now. */
+    void retireUpTo(double now);
+
+    /** Time the stack finishes its last enqueued command. */
+    double busyUntilSeconds() const { return busyUntil_; }
+
+    /** Cumulative seconds the stack spent executing commands. */
+    double busySeconds() const { return busySeconds_; }
+
+    /** Commands ever enqueued on this queue. */
+    std::uint64_t submitted() const { return submitted_; }
+
+    /** Commands currently outstanding (enqueued, not retired). */
+    std::size_t outstanding() const { return inflightFinish_.size(); }
+
+    unsigned depth() const { return depth_; }
+
+    /** Drop all state (used by MealibRuntime::resetAccounting). */
+    void reset();
+
+  private:
+    unsigned depth_;
+    /** Finish times of outstanding commands, oldest first. In-order
+     * issue on one stack keeps this monotonically non-decreasing. */
+    std::deque<double> inflightFinish_;
+    double busyUntil_ = 0.0;
+    double busySeconds_ = 0.0;
+    std::uint64_t submitted_ = 0;
+};
+
+} // namespace mealib::runtime
+
+#endif // MEALIB_RUNTIME_QUEUE_HH

@@ -13,21 +13,51 @@ RuntimeConfig::RuntimeConfig()
 {
 }
 
+void
+RuntimeConfig::validate() const
+{
+    fatalIf(numStacks == 0, "runtime config: need at least one memory "
+            "stack (numStacks == 0)");
+    fatalIf(backingBytes == 0,
+            "runtime config: backing arena must be non-empty "
+            "(backingBytes == 0)");
+    fatalIf(commandBytes == 0,
+            "runtime config: command space must be non-empty "
+            "(commandBytes == 0)");
+    const std::uint64_t span = backingBytes / numStacks;
+    fatalIf(commandBytes >= span,
+            "runtime config: command space (", commandBytes,
+            " B) swallows stack 0's data region (", span,
+            " B per stack); grow backingBytes or shrink commandBytes");
+    fatalIf(queueDepth == 0,
+            "runtime config: per-stack command queues need a depth of "
+            "at least 1 (queueDepth == 0)");
+}
+
+namespace {
+
+/** Validate before any member construction touches the config. */
+const RuntimeConfig &
+validated(const RuntimeConfig &cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
 MealibRuntime::MealibRuntime(const RuntimeConfig &cfg)
-    : cfg_(cfg), mem_(std::make_unique<dram::PhysMem>(cfg.backingBytes)),
-      stack_(std::make_unique<dram::Stack>(cfg.dram)),
-      layer_(std::make_unique<accel::AcceleratorLayer>(cfg.dram, cfg.mesh,
-                                                       cfg.functional)),
+    : cfg_(validated(cfg)),
+      mem_(std::make_unique<dram::PhysMem>(cfg.backingBytes)),
       host_(cfg.hostCpu)
 {
-    fatalIf(cfg.numStacks == 0, "runtime: need at least one stack");
     const std::uint64_t span = cfg.backingBytes / cfg.numStacks;
-    fatalIf(cfg.commandBytes >= span,
-            "runtime: command space swallows stack 0");
     // The driver reserves the contiguous region and splits it: command
     // space first (monitored by the configuration unit), then one data
     // region per memory stack (Sec. 3.3: data should be allocated on
-    // the accelerator's Local Memory Stack).
+    // the accelerator's Local Memory Stack). Each stack carries its own
+    // accelerator layer so independent command queues execute in
+    // parallel.
     cmdAlloc_ =
         std::make_unique<ContigAllocator>(0, cfg.commandBytes);
     for (unsigned st = 0; st < cfg.numStacks; ++st) {
@@ -36,7 +66,12 @@ MealibRuntime::MealibRuntime(const RuntimeConfig &cfg)
         std::uint64_t size = span - (st == 0 ? cfg.commandBytes : 0);
         dataAllocs_.push_back(
             std::make_unique<ContigAllocator>(base, size));
+        stacks_.push_back(std::make_unique<dram::Stack>(cfg.dram));
+        layers_.push_back(std::make_unique<accel::AcceleratorLayer>(
+            cfg.dram, cfg.mesh, cfg.functional));
+        queues_.emplace_back(cfg.queueDepth);
     }
+    sched_ = std::make_unique<Scheduler>(cfg.scheduler, cfg.numStacks);
 }
 
 unsigned
@@ -84,6 +119,30 @@ MealibRuntime::virtOf(Addr paddr)
     return mem_->raw(paddr, 0);
 }
 
+accel::AcceleratorLayer &
+MealibRuntime::layer(unsigned stack)
+{
+    fatalIf(stack >= cfg_.numStacks, "layer: stack ", stack,
+            " out of range (", cfg_.numStacks, " stacks)");
+    return *layers_[stack];
+}
+
+dram::Stack &
+MealibRuntime::stack(unsigned stack)
+{
+    fatalIf(stack >= cfg_.numStacks, "stack: stack ", stack,
+            " out of range (", cfg_.numStacks, " stacks)");
+    return *stacks_[stack];
+}
+
+const CommandQueue &
+MealibRuntime::queue(unsigned stack) const
+{
+    fatalIf(stack >= cfg_.numStacks, "queue: stack ", stack,
+            " out of range (", cfg_.numStacks, " stacks)");
+    return queues_[stack];
+}
+
 AccPlanHandle
 MealibRuntime::accPlan(const accel::DescriptorProgram &prog)
 {
@@ -104,6 +163,9 @@ MealibRuntime::accPlan(const accel::DescriptorProgram &prog)
     plan.dirtyBytes = static_cast<std::uint64_t>(
         std::min(dirty, 1.0e9));
 
+    // Hazard footprint for the asynchronous submit path.
+    plan.intervals = accessIntervals(prog);
+
     AccPlanHandle h = nextHandle_++;
     plans_.emplace(h, std::move(plan));
     return h;
@@ -116,6 +178,15 @@ MealibRuntime::homeStackOf(const accel::DescriptorProgram &prog) const
         if (in.type == accel::Instr::Type::Comp)
             return stackOf(in.call.out.base);
     return 0;
+}
+
+unsigned
+MealibRuntime::homeStackOf(AccPlanHandle handle) const
+{
+    auto it = plans_.find(handle);
+    fatalIf(it == plans_.end(), "homeStackOf: unknown plan handle ",
+            handle);
+    return homeStackOf(it->second.prog);
 }
 
 Cost
@@ -160,12 +231,46 @@ MealibRuntime::remotePenalty(const accel::DescriptorProgram &prog,
     return c;
 }
 
-accel::ExecStats
-MealibRuntime::accExecute(AccPlanHandle handle)
+void
+MealibRuntime::hostWork(double seconds)
+{
+    hostSeconds_ += seconds;
+    acct_.hostBusySeconds += seconds;
+}
+
+void
+MealibRuntime::hostWaitUntil(double seconds)
+{
+    if (seconds > hostSeconds_)
+        hostSeconds_ = seconds;
+}
+
+void
+MealibRuntime::updateMakespan()
+{
+    double frontier = hostSeconds_;
+    for (const CommandQueue &q : queues_)
+        frontier = std::max(frontier, q.busyUntilSeconds());
+    acct_.makespanSeconds = std::max(acct_.makespanSeconds, frontier);
+}
+
+Event
+MealibRuntime::accSubmit(AccPlanHandle handle)
 {
     auto it = plans_.find(handle);
-    fatalIf(it == plans_.end(), "accExecute: unknown plan handle ",
+    fatalIf(it == plans_.end(), "accSubmit: unknown plan handle ",
             handle);
+    return accSubmitOn(handle, sched_->pick(homeStackOf(it->second.prog)));
+}
+
+Event
+MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
+{
+    auto it = plans_.find(handle);
+    fatalIf(it == plans_.end(), "accSubmit: unknown plan handle ",
+            handle);
+    fatalIf(stackIdx >= cfg_.numStacks, "accSubmit: stack ", stackIdx,
+            " out of range (", cfg_.numStacks, " stacks)");
     Plan &plan = it->second;
 
     // 1. Coherence: write back dirty lines so the memory-side view is
@@ -180,26 +285,33 @@ MealibRuntime::accExecute(AccPlanHandle handle)
     handshake.joules = cfg_.hostCpu.idleW * handshake.seconds;
 
     // 3. Hand the arrays to the accelerators (exclusive ownership).
+    //    Functional execution happens eagerly in submission order;
+    //    hazard chains below guarantee that any order the timeline
+    //    could legally report computes these same values.
     const std::uint8_t *img = mem_->raw(plan.descAddr, plan.descBytes);
     accel::writeCommand(mem_->raw(plan.descAddr, plan.descBytes),
                         plan.descBytes, accel::Command::Start);
     accel::DescriptorProgram prog =
         accel::decode(img, plan.descBytes);
 
-    stack_->acquire(dram::Owner::Accelerator);
-    accel::ExecStats es = layer_->execute(prog, *mem_);
-    stack_->release(dram::Owner::Accelerator);
+    stacks_[stackIdx]->acquire(dram::Owner::Accelerator);
+    accel::ExecStats es = layers_[stackIdx]->execute(prog, *mem_);
+    stacks_[stackIdx]->release(dram::Owner::Accelerator);
 
-    // Inter-stack traffic for operands left on remote stacks.
+    // Inter-stack traffic for operands left on stacks remote to the
+    // one that executed the plan.
     if (cfg_.numStacks > 1) {
-        Cost remote = remotePenalty(prog, homeStackOf(prog),
-                                    &es.remoteBytes);
+        Cost remote = remotePenalty(prog, stackIdx, &es.remoteBytes);
         es.total += remote;
         es.remote = remote;
     }
 
     accel::writeCommand(mem_->raw(plan.descAddr, plan.descBytes),
                         plan.descBytes, accel::Command::Done);
+
+    // Everything accounted so far occupies the stack; the flush and
+    // handshake below occupy the host track instead.
+    const double accelSpan = es.total.seconds;
 
     // Fold the software-side invocation costs into the stats.
     es.invocation += flush + handshake;
@@ -213,7 +325,85 @@ MealibRuntime::accExecute(AccPlanHandle handle)
         acct_.timeByAccel.add(k, v);
     for (const auto &[k, v] : es.energyByAccel.parts())
         acct_.energyByAccel.add(k, v);
-    return es;
+
+    // --- timeline: place the command on its stack's queue -------------
+    hostWork(flush.seconds + handshake.seconds);
+    CommandQueue &q = queues_[stackIdx];
+    hostWaitUntil(q.admitSeconds(hostSeconds_)); // stall on a full queue
+    q.retireUpTo(hostSeconds_);
+
+    // Retire hazard records the host clock has already passed: a new
+    // command cannot start before the host submitted it.
+    std::erase_if(pending_, [&](const PendingAccess &pa) {
+        return pa.finishSeconds <= hostSeconds_;
+    });
+
+    double ready = hostSeconds_;
+    for (const PendingAccess &pa : pending_)
+        for (const AccessInterval &iv : plan.intervals)
+            if (iv.conflictsWith(pa.interval))
+                ready = std::max(ready, pa.finishSeconds);
+
+    const double start = std::max(ready, q.busyUntilSeconds());
+    const double finish = start + accelSpan;
+    q.push(start, finish);
+    acct_.busyByStack.add("stack" + std::to_string(stackIdx),
+                          accelSpan);
+    for (const AccessInterval &iv : plan.intervals)
+        pending_.push_back({iv, finish});
+
+    auto state = std::make_shared<detail::EventState>();
+    state->id = nextEventId_++;
+    state->stack = stackIdx;
+    state->submitSeconds = hostSeconds_;
+    state->startSeconds = start;
+    state->finishSeconds = finish;
+    state->epoch = epoch_;
+    state->stats = es;
+    inflight_.push_back(state);
+    updateMakespan();
+    return Event(this, state);
+}
+
+const accel::ExecStats &
+MealibRuntime::eventWait(const std::shared_ptr<detail::EventState> &state)
+{
+    // Events submitted before a resetAccounting() are stale: their
+    // times belong to a discarded timeline, so waiting is a no-op.
+    if (state->epoch == epoch_ && !state->waited) {
+        hostWaitUntil(state->finishSeconds);
+        std::erase(inflight_, state);
+        updateMakespan();
+    }
+    state->waited = true;
+    return state->stats;
+}
+
+void
+MealibRuntime::waitAll()
+{
+    for (const auto &state : inflight_) {
+        hostWaitUntil(state->finishSeconds);
+        state->waited = true;
+    }
+    inflight_.clear();
+    // Every recorded access has finished by now.
+    pending_.clear();
+    for (CommandQueue &q : queues_)
+        q.retireUpTo(hostSeconds_);
+    updateMakespan();
+}
+
+accel::ExecStats
+MealibRuntime::accExecute(AccPlanHandle handle)
+{
+    auto it = plans_.find(handle);
+    fatalIf(it == plans_.end(), "accExecute: unknown plan handle ",
+            handle);
+    // The paper's blocking Listing-2 semantics: submit on the plan's
+    // home stack, then poll DONE.
+    Event ev = accSubmitOn(handle, homeStackOf(it->second.prog));
+    return ev.wait();
 }
 
 void
@@ -231,7 +421,30 @@ MealibRuntime::runOnHost(const host::KernelProfile &profile)
 {
     Cost c = host_.run(profile);
     acct_.host += c;
+    hostWork(c.seconds);
+    updateMakespan();
     return c;
+}
+
+void
+MealibRuntime::resetAccounting()
+{
+    acct_ = RuntimeAccounting{};
+    hostSeconds_ = 0.0;
+    pending_.clear();
+    inflight_.clear();
+    for (CommandQueue &q : queues_)
+        q.reset();
+    sched_->reset();
+    nextEventId_ = 1;
+    epoch_++;
+}
+
+const accel::ExecStats &
+Event::wait()
+{
+    fatalIf(!valid(), "Event::wait: invalid event");
+    return rt_->eventWait(state_);
 }
 
 } // namespace mealib::runtime

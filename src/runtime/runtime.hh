@@ -14,6 +14,15 @@
  * (Sec. 5.5): cache flushing (wbinvd) before handing arrays to the
  * accelerators, descriptor copy into the command space, and the START
  * handshake.
+ *
+ * On top of the paper's blocking Listing-2 triple, the runtime provides
+ * an asynchronous command-queue engine (docs/RUNTIME.md): accSubmit()
+ * enqueues a plan on a per-stack command queue and returns an Event;
+ * hazards inferred from descriptor operand intervals (RAW/WAR/WAW on
+ * physical ranges) chain dependent plans while independent plans on
+ * different stacks overlap, and overlap with host work submitted via
+ * runOnHost(). accExecute() is a thin submit+wait wrapper, so the
+ * serial cost ledger is identical to the blocking implementation.
  */
 
 #ifndef MEALIB_RUNTIME_RUNTIME_HH
@@ -22,6 +31,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "accel/descriptor.hh"
 #include "accel/layer.hh"
@@ -32,6 +42,9 @@
 #include "host/cpu.hh"
 #include "noc/mesh.hh"
 #include "runtime/alloc.hh"
+#include "runtime/event.hh"
+#include "runtime/queue.hh"
+#include "runtime/scheduler.hh"
 
 namespace mealib::runtime {
 
@@ -47,8 +60,18 @@ struct RuntimeConfig
     bool functional = true;               //!< run kernels for real
     /** Inter-stack SerDes link energy (HMC-style high-speed links). */
     double linkJPerByte = 10.0_pJ;
+    /** Outstanding commands each per-stack queue admits before a
+     * submit stalls the host (the command-buffer size). */
+    unsigned queueDepth = 8;
+    /** Stack-placement policy for accSubmit(). */
+    SchedulerPolicy scheduler = SchedulerPolicy::Locality;
 
     RuntimeConfig();
+
+    /** fatal() with a descriptive message if the configuration is
+     * inconsistent (zero-sized spaces, command space swallowing a
+     * stack, no stacks, zero queue depth). */
+    void validate() const;
 };
 
 /** Opaque plan handle (the acc_plan of Listing 2). */
@@ -63,14 +86,33 @@ struct RuntimeAccounting
     Breakdown timeByAccel;
     Breakdown energyByAccel;
 
+    // --- overlap-aware view (async command-queue engine) --------------
+    /** Critical path: when the latest of {host track, every stack's
+     * queue} finishes on the simulated timeline. For purely blocking
+     * accExecute() workloads this equals total().seconds. */
+    double makespanSeconds = 0.0;
+    /** Host-track time spent doing work (flush/handshake/runOnHost),
+     * excluding time the host waited on events or full queues. */
+    double hostBusySeconds = 0.0;
+    /** Per-stack accelerator busy seconds, keyed "stack0", "stack1"... */
+    Breakdown busyByStack;
+
     Cost
     total() const
     {
         return host + accel + invocation;
     }
+
+    /** Wall-clock saved by host/accelerator and stack/stack overlap:
+     * serial total minus the overlap-aware critical path. */
+    double
+    overlapSavedSeconds() const
+    {
+        return total().seconds - makespanSeconds;
+    }
 };
 
-/** The MEALib runtime instance: one host, one accelerated stack. */
+/** The MEALib runtime instance: one host, N accelerated stacks. */
 class MealibRuntime
 {
   public:
@@ -113,43 +155,90 @@ class MealibRuntime
     AccPlanHandle accPlan(const accel::DescriptorProgram &prog);
 
     /** mealib_acc_execute: flush, write START, run, poll DONE.
-     * @return the cost of this invocation (also accumulated). */
+     * Equivalent to accSubmit() on the plan's home stack followed by
+     * Event::wait(). @return the cost of this invocation (also
+     * accumulated). */
     accel::ExecStats accExecute(AccPlanHandle plan);
 
     /** mealib_acc_destroy. */
     void accDestroy(AccPlanHandle plan);
 
+    // --- asynchronous command-queue engine -----------------------------
+
+    /**
+     * mealib_acc_submit: enqueue @p plan on the stack the configured
+     * scheduler picks and return immediately with a completion Event.
+     * The command starts once its stack's queue drains to it AND every
+     * hazard against earlier in-flight commands (RAW/WAR/WAW overlap of
+     * descriptor operand intervals) has resolved. The host track only
+     * pays the flush + handshake (and stalls while the queue is full).
+     */
+    Event accSubmit(AccPlanHandle plan);
+
+    /** accSubmit() with an explicit target stack. */
+    Event accSubmitOn(AccPlanHandle plan, unsigned stack);
+
+    /** Block the host track until every in-flight command is DONE. */
+    void waitAll();
+
+    /** Home stack of a plan: where its first output operand lives. */
+    unsigned homeStackOf(AccPlanHandle plan) const;
+
+    /** Simulated host-track clock, seconds since construction/reset. */
+    double nowSeconds() const { return hostSeconds_; }
+
+    /** Commands submitted and not yet waited on. */
+    std::size_t inflightCount() const { return inflight_.size(); }
+
+    const CommandQueue &queue(unsigned stack) const;
+    const Scheduler &scheduler() const { return *sched_; }
+
     // --- host-side accounting ------------------------------------------
 
-    /** Record compute-bounded work the host executed natively. */
+    /** Record compute-bounded work the host executed natively. The
+     * host track advances, overlapping with in-flight commands. */
     Cost runOnHost(const host::KernelProfile &profile);
 
     /** Accumulated cost ledger. */
     const RuntimeAccounting &accounting() const { return acct_; }
 
-    /** Reset the cost ledger (not the memory state). */
-    void resetAccounting() { acct_ = RuntimeAccounting{}; }
+    /** Reset the cost ledger and the async timeline (queues, clocks,
+     * hazard state, scheduler cursor) — not the memory state.
+     * Outstanding Events become stale: waiting on them is a no-op. */
+    void resetAccounting();
 
+    const RuntimeConfig &config() const { return cfg_; }
     dram::PhysMem &mem() { return *mem_; }
     const host::CpuModel &hostModel() const { return host_; }
-    accel::AcceleratorLayer &layer() { return *layer_; }
-    dram::Stack &stack() { return *stack_; }
+    accel::AcceleratorLayer &layer(unsigned stack = 0);
+    dram::Stack &stack(unsigned stack = 0);
     ContigAllocator &dataAllocator() { return *dataAllocs_[0]; }
 
   private:
+    friend class Event;
+
     struct Plan
     {
         accel::DescriptorProgram prog;
         Addr descAddr = 0;          //!< command-space location
         std::uint64_t descBytes = 0;
         std::uint64_t dirtyBytes = 0; //!< footprint to flush
+        std::vector<AccessInterval> intervals; //!< hazard footprint
+    };
+
+    /** An in-flight command's hazard footprint on the timeline. */
+    struct PendingAccess
+    {
+        AccessInterval interval;
+        double finishSeconds;
     };
 
     RuntimeConfig cfg_;
     std::unique_ptr<dram::PhysMem> mem_;
-    std::unique_ptr<dram::Stack> stack_;
-    std::unique_ptr<accel::AcceleratorLayer> layer_;
+    std::vector<std::unique_ptr<dram::Stack>> stacks_;
+    std::vector<std::unique_ptr<accel::AcceleratorLayer>> layers_;
     host::CpuModel host_;
+
     /** Remote-operand link cost for a program homed on @p home. */
     Cost remotePenalty(const accel::DescriptorProgram &prog,
                        unsigned home, double *remoteBytes) const;
@@ -157,11 +246,33 @@ class MealibRuntime
     /** Home stack of a program: where its first output operand lives. */
     unsigned homeStackOf(const accel::DescriptorProgram &prog) const;
 
+    /** Advance the host track doing work (counts as busy time). */
+    void hostWork(double seconds);
+
+    /** Advance the host track to @p seconds if later (waiting). */
+    void hostWaitUntil(double seconds);
+
+    /** Fold the current timeline frontier into the makespan. */
+    void updateMakespan();
+
+    /** Event::wait() implementation. */
+    const accel::ExecStats &
+    eventWait(const std::shared_ptr<detail::EventState> &state);
+
     std::unique_ptr<ContigAllocator> cmdAlloc_;
     std::vector<std::unique_ptr<ContigAllocator>> dataAllocs_;
     std::map<AccPlanHandle, Plan> plans_;
     AccPlanHandle nextHandle_ = 1;
     RuntimeAccounting acct_;
+
+    // --- async timeline state (reset by resetAccounting) ---------------
+    std::unique_ptr<Scheduler> sched_;
+    std::vector<CommandQueue> queues_;
+    double hostSeconds_ = 0.0;
+    std::vector<PendingAccess> pending_;
+    std::vector<std::shared_ptr<detail::EventState>> inflight_;
+    std::uint64_t nextEventId_ = 1;
+    std::uint64_t epoch_ = 0; //!< bumped by resetAccounting
 };
 
 } // namespace mealib::runtime

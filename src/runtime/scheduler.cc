@@ -1,0 +1,50 @@
+#include "runtime/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace mealib::runtime {
+
+const char *
+name(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::RoundRobin:
+        return "round_robin";
+      case SchedulerPolicy::Locality:
+        return "locality";
+      default:
+        panic("name: bad scheduler policy");
+    }
+}
+
+SchedulerPolicy
+schedulerPolicy(const std::string &name)
+{
+    if (name == "round_robin" || name == "rr")
+        return SchedulerPolicy::RoundRobin;
+    if (name == "locality")
+        return SchedulerPolicy::Locality;
+    fatal("unknown scheduler policy '", name,
+          "' (expected 'round_robin' or 'locality')");
+}
+
+Scheduler::Scheduler(SchedulerPolicy policy, unsigned numStacks)
+    : policy_(policy), numStacks_(numStacks)
+{
+    fatalIf(numStacks == 0, "scheduler: need at least one stack");
+}
+
+unsigned
+Scheduler::pick(unsigned homeStack)
+{
+    switch (policy_) {
+      case SchedulerPolicy::RoundRobin:
+        return next_++ % numStacks_;
+      case SchedulerPolicy::Locality:
+        return homeStack < numStacks_ ? homeStack : 0;
+      default:
+        panic("pick: bad scheduler policy");
+    }
+}
+
+} // namespace mealib::runtime

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plan-placement policies for the asynchronous command-queue engine.
+ *
+ * When a runtime drives more than one memory stack, every submitted
+ * plan must be homed on one of them. The scheduler makes that choice:
+ * `round_robin` spreads plans across stacks for throughput regardless
+ * of where their operands live, while `locality` homes each plan on
+ * the stack that owns its first output operand (the paper's Local
+ * Memory Stack rule, Sec. 3.3) so no inter-stack link traffic is paid.
+ */
+
+#ifndef MEALIB_RUNTIME_SCHEDULER_HH
+#define MEALIB_RUNTIME_SCHEDULER_HH
+
+#include <string>
+
+namespace mealib::runtime {
+
+/** Stack-selection policy for submitted plans. */
+enum class SchedulerPolicy
+{
+    RoundRobin, //!< cycle through stacks, ignoring operand placement
+    Locality,   //!< home each plan on its output operand's stack
+};
+
+/** Printable policy name ("round_robin" / "locality"). */
+const char *name(SchedulerPolicy policy);
+
+/** Parse a policy name; fatal() on anything unrecognized. */
+SchedulerPolicy schedulerPolicy(const std::string &name);
+
+/** The stack picker. One instance per runtime; stateful (round robin
+ * keeps a cursor) so reset() restores a freshly constructed ledger. */
+class Scheduler
+{
+  public:
+    Scheduler(SchedulerPolicy policy, unsigned numStacks);
+
+    /** Stack the next plan should execute on. @p homeStack is the
+     * stack owning the plan's first output operand. */
+    unsigned pick(unsigned homeStack);
+
+    SchedulerPolicy policy() const { return policy_; }
+
+    /** Restore construction-time state (used by resetAccounting). */
+    void reset() { next_ = 0; }
+
+  private:
+    SchedulerPolicy policy_;
+    unsigned numStacks_;
+    unsigned next_ = 0;
+};
+
+} // namespace mealib::runtime
+
+#endif // MEALIB_RUNTIME_SCHEDULER_HH

@@ -148,6 +148,74 @@ TEST(MultiStack, SingleStackHasNoPenalty)
     EXPECT_DOUBLE_EQ(es.remote.seconds, 0.0);
 }
 
+TEST(MultiStack, StackOfBoundaries)
+{
+    RuntimeConfig cfg = fourStacks(); // 64 MiB over 4 stacks
+    MealibRuntime rt(cfg);
+    const std::uint64_t span = cfg.backingBytes / cfg.numStacks;
+
+    EXPECT_EQ(rt.stackOf(0), 0u);
+    EXPECT_EQ(rt.stackOf(span - 1), 0u);
+    EXPECT_EQ(rt.stackOf(span), 1u);
+    EXPECT_EQ(rt.stackOf(3 * span), 3u);
+    EXPECT_EQ(rt.stackOf(cfg.backingBytes - 1), 3u);
+    // Addresses past the arena clamp to the last stack.
+    EXPECT_EQ(rt.stackOf(cfg.backingBytes), 3u);
+    EXPECT_EQ(rt.stackOf(cfg.backingBytes + span), 3u);
+}
+
+TEST(MultiStack, LastStackAllocatesItsFullSpan)
+{
+    RuntimeConfig cfg = fourStacks();
+    MealibRuntime rt(cfg);
+    const std::uint64_t span = cfg.backingBytes / cfg.numStacks;
+    // Stack 3 carries no command space: its whole span is data.
+    void *p = rt.memAllocOn(3, span);
+    EXPECT_EQ(rt.stackOf(rt.physOf(p)), 3u);
+    EXPECT_EQ(rt.stackOf(rt.physOf(p) + span - 1), 3u);
+    rt.memFree(p);
+    // Stack 0 gave up commandBytes, so the full span must not fit.
+    EXPECT_THROW(rt.memAllocOn(0, span), FatalError);
+}
+
+TEST(MultiStack, StraddlingOperandClassifiedByBase)
+{
+    // An operand whose byte range crosses a stack boundary is charged
+    // by its base address: remote accounting is per-operand, matching
+    // the per-operand placement model of Sec. 3.3.
+    RuntimeConfig cfg = fourStacks();
+    cfg.functional = false; // synthetic addresses, cost model only
+    MealibRuntime rt(cfg);
+    const std::uint64_t span = cfg.backingBytes / cfg.numStacks;
+    const std::int64_t n = 1 << 16;
+
+    OpCall c;
+    c.kind = AccelKind::AXPY;
+    c.n = static_cast<std::uint64_t>(n);
+    // Input starts on stack 1 but extends into stack 2; output (the
+    // home operand) sits fully on stack 1.
+    c.in0.base = 2 * span - n * 2;
+    c.out.base = span;
+    DescriptorProgram prog;
+    prog.addComp(c);
+    prog.addPassEnd();
+    auto h = rt.accPlan(prog);
+    accel::ExecStats es = rt.accExecute(h);
+    rt.accDestroy(h);
+    EXPECT_DOUBLE_EQ(es.remoteBytes, 0.0);
+
+    // Move the input's base itself across the boundary: now its whole
+    // traffic is remote.
+    c.in0.base = 2 * span;
+    DescriptorProgram prog2;
+    prog2.addComp(c);
+    prog2.addPassEnd();
+    auto h2 = rt.accPlan(prog2);
+    accel::ExecStats es2 = rt.accExecute(h2);
+    rt.accDestroy(h2);
+    EXPECT_DOUBLE_EQ(es2.remoteBytes, static_cast<double>(n) * 4.0);
+}
+
 TEST(MultiStack, FunctionalResultUnaffectedByPlacement)
 {
     MealibRuntime rt(fourStacks());

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <complex>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -29,6 +30,52 @@ smallConfig()
     RuntimeConfig cfg;
     cfg.backingBytes = 64_MiB;
     return cfg;
+}
+
+TEST(RuntimeConfig, ValidationRejectsInconsistentConfigs)
+{
+    RuntimeConfig cfg = smallConfig();
+    EXPECT_NO_THROW(cfg.validate());
+
+    RuntimeConfig no_stacks = smallConfig();
+    no_stacks.numStacks = 0;
+    EXPECT_THROW(no_stacks.validate(), FatalError);
+    EXPECT_THROW(MealibRuntime{no_stacks}, FatalError);
+
+    RuntimeConfig no_arena = smallConfig();
+    no_arena.backingBytes = 0;
+    EXPECT_THROW(no_arena.validate(), FatalError);
+    EXPECT_THROW(MealibRuntime{no_arena}, FatalError);
+
+    RuntimeConfig no_cmd = smallConfig();
+    no_cmd.commandBytes = 0;
+    EXPECT_THROW(no_cmd.validate(), FatalError);
+    EXPECT_THROW(MealibRuntime{no_cmd}, FatalError);
+
+    // Command space must leave room in stack 0's share of the arena.
+    RuntimeConfig swallowed = smallConfig();
+    swallowed.numStacks = 4;
+    swallowed.commandBytes = swallowed.backingBytes / 4;
+    EXPECT_THROW(swallowed.validate(), FatalError);
+    EXPECT_THROW(MealibRuntime{swallowed}, FatalError);
+
+    RuntimeConfig no_depth = smallConfig();
+    no_depth.queueDepth = 0;
+    EXPECT_THROW(no_depth.validate(), FatalError);
+    EXPECT_THROW(MealibRuntime{no_depth}, FatalError);
+}
+
+TEST(RuntimeConfig, ValidationMessagesAreDescriptive)
+{
+    RuntimeConfig bad = smallConfig();
+    bad.numStacks = 0;
+    try {
+        bad.validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("numStacks"),
+                  std::string::npos);
+    }
 }
 
 TEST(Runtime, MemAllocVirtualPhysicalRoundTrip)
