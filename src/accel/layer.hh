@@ -50,6 +50,12 @@ struct ExecStats
     std::uint64_t passes = 0;
     double bytesMoved = 0.0;  //!< total DRAM traffic
     double flops = 0.0;
+
+    // --- fault-injection outcome (filled by the runtime) ---------------
+    unsigned retries = 0;     //!< failed attempts absorbed by retry
+    bool fellBack = false;    //!< completed on the host, not this layer
+    Cost faultPenalty;        //!< retry/backoff/watchdog cost included
+                              //!< in @c total (zero when faults are off)
 };
 
 /** The accelerator layer attached to one memory stack. */

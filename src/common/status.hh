@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Recoverable-error reporting for the MEALib runtime.
+ *
+ * fatal()/panic() (common/logging.hh) throw and are reserved for
+ * conditions the caller cannot continue from: malformed descriptors,
+ * broken internal invariants. Runtime paths that a production system
+ * must survive — a bad stack index, a device that stopped answering, a
+ * command that exhausted its retries — report a Status instead, so the
+ * caller (or the runtime's own degradation machinery) can decide
+ * whether to retry, fall back to the host, or surface the error.
+ */
+
+#ifndef MEALIB_COMMON_STATUS_HH
+#define MEALIB_COMMON_STATUS_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mealib {
+
+/** Machine-inspectable category of a recoverable error. */
+enum class ErrorCode
+{
+    Ok = 0,
+    InvalidArgument, //!< caller passed something out of range
+    NotFound,        //!< unknown handle / missing resource
+    Timeout,         //!< watchdog expired waiting on the device
+    DeviceFailed,    //!< stack marked failed / permanent hardware fault
+    Exhausted,       //!< retry budget spent without success
+    Internal,        //!< unclassified runtime failure
+};
+
+/** Printable code name ("ok", "invalid_argument", ...). */
+constexpr const char *
+name(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::InvalidArgument:
+        return "invalid_argument";
+      case ErrorCode::NotFound:
+        return "not_found";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::DeviceFailed:
+        return "device_failed";
+      case ErrorCode::Exhausted:
+        return "exhausted";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+class MealibError;
+
+/** Value-type result of a recoverable runtime operation. */
+class Status
+{
+  public:
+    /** Default: success. */
+    Status() = default;
+
+    static Status
+    error(ErrorCode code, std::string message)
+    {
+        Status s;
+        s.code_ = code;
+        s.message_ = std::move(message);
+        return s;
+    }
+
+    bool ok() const { return code_ == ErrorCode::Ok; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code>: <message>". */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        return std::string(name(code_)) + ": " + message_;
+    }
+
+    /** Throw MealibError if not ok (for callers preferring exceptions). */
+    void orThrow() const;
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+/** Exception form of a non-ok Status (thrown by Status::orThrow). */
+class MealibError : public std::runtime_error
+{
+  public:
+    explicit MealibError(const Status &status)
+        : std::runtime_error(status.toString()), code_(status.code())
+    {
+    }
+
+    ErrorCode code() const { return code_; }
+
+  private:
+    ErrorCode code_;
+};
+
+inline void
+Status::orThrow() const
+{
+    if (!ok())
+        throw MealibError(*this);
+}
+
+} // namespace mealib
+
+#endif // MEALIB_COMMON_STATUS_HH

@@ -96,6 +96,32 @@ class Stack
                params_.peakInternalBandwidth();
     }
 
+    // --- ECC penalty model (fault injection, docs/FAULTS.md) -----------
+
+    /**
+     * Latency of one in-line corrected ECC event: the vault re-reads the
+     * word and writes the scrubbed line back — a row cycle (tRCD + tCAS
+     * + tRP) of stall plus the write-back burst.
+     */
+    double
+    eccCorrectPenaltySeconds() const
+    {
+        const TimingParams &t = params_.timing;
+        return static_cast<double>(t.tRCD + t.tCAS + t.tRP + t.tBURST) *
+               t.tCK;
+    }
+
+    /**
+     * Latency the controller spends before declaring a word
+     * uncorrectable: a bounded re-read sequence (the retry happens at
+     * the command level, so this only prices the detection).
+     */
+    double
+    eccUncorrectableDetectSeconds() const
+    {
+        return 4.0 * eccCorrectPenaltySeconds();
+    }
+
   private:
     /** Vault index for a stack-level address. */
     unsigned vaultOf(Addr a) const;

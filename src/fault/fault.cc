@@ -1,0 +1,104 @@
+#include "fault/fault.hh"
+
+#include "common/logging.hh"
+
+namespace mealib::fault {
+
+const char *
+name(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::EccCorrectable:
+        return "ecc_correctable";
+      case FaultKind::EccUncorrectable:
+        return "ecc_uncorrectable";
+      case FaultKind::LinkCrc:
+        return "link_crc";
+      case FaultKind::CommandHang:
+        return "command_hang";
+      case FaultKind::ComputeTransient:
+        return "compute_transient";
+      case FaultKind::StackFailure:
+        return "stack_failure";
+      default:
+        panic("name: bad fault kind");
+    }
+}
+
+bool
+transient(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::EccUncorrectable:
+      case FaultKind::LinkCrc:
+      case FaultKind::CommandHang:
+      case FaultKind::ComputeTransient:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+FaultConfig::validate() const
+{
+    auto check = [](double rate, const char *what) {
+        fatalIf(rate < 0.0 || rate > 1.0, "fault config: ", what,
+                " rate ", rate, " outside [0, 1]");
+    };
+    check(eccCorrectableRate, "ECC-correctable");
+    check(eccUncorrectableRate, "ECC-uncorrectable");
+    check(linkCrcRate, "link-CRC");
+    check(hangRate, "hang");
+    check(computeTransientRate, "compute-transient");
+}
+
+FaultModel::FaultModel(const FaultConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+FaultPlan
+FaultModel::roll(std::uint64_t command, unsigned attempt) const
+{
+    FaultPlan plan;
+    if (!cfg_.enabled())
+        return plan;
+
+    // One private stream per (command, attempt): rolls do not depend on
+    // how many other commands were submitted in between, so the same
+    // seed injects the same faults regardless of queue interleaving.
+    Rng rng(cfg_.seed ^ (command * 0x9e3779b97f4a7c15ull) ^
+            (static_cast<std::uint64_t>(attempt) * 0xc2b2ae3d27d4eb4full));
+
+    // Fixed draw order, one draw per source, so outcomes of one source
+    // never shift another source's stream.
+    const double u_ecc_c = rng.uniform();
+    const double u_ecc_u = rng.uniform();
+    const double u_crc = rng.uniform();
+    const double u_hang = rng.uniform();
+    const double u_comp = rng.uniform();
+    const double u_frac = rng.uniform();
+
+    if (u_ecc_c < cfg_.eccCorrectableRate)
+        plan.eccCorrected = 1;
+    if (u_hang < cfg_.hangRate) {
+        plan.hang = true;
+        return plan;
+    }
+    // First fatal transient wins; detection point is the same draw so
+    // the failure cost is reproducible too.
+    if (u_crc < cfg_.linkCrcRate)
+        plan.failure = FaultKind::LinkCrc;
+    else if (u_ecc_u < cfg_.eccUncorrectableRate)
+        plan.failure = FaultKind::EccUncorrectable;
+    else if (u_comp < cfg_.computeTransientRate)
+        plan.failure = FaultKind::ComputeTransient;
+    if (plan.failure != FaultKind::None)
+        plan.failFraction = u_frac;
+    return plan;
+}
+
+} // namespace mealib::fault

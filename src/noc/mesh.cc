@@ -94,6 +94,21 @@ Mesh::reduceToTile0(std::uint64_t bytesPerTile) const
     return c;
 }
 
+Cost
+Mesh::crcReplayCost(std::uint64_t packetBytes) const
+{
+    // NACK travels back across the mesh diameter, then the source
+    // retransmits the packet over the same worst-case path.
+    const unsigned diameter = (params_.width - 1) + (params_.height - 1);
+    Cost c;
+    c.seconds = static_cast<double>(diameter) *
+                    static_cast<double>(params_.hopCycles) /
+                    params_.clock +
+                transferSeconds(0, numTiles() - 1, packetBytes);
+    c.joules = 2.0 * transferJoules(diameter, packetBytes);
+    return c;
+}
+
 double
 Mesh::leakageW() const
 {

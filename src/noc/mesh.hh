@@ -54,6 +54,13 @@ class Mesh
     /** Cost of an all-to-one reduction of @p bytesPerTile to tile 0. */
     Cost reduceToTile0(std::uint64_t bytesPerTile) const;
 
+    /**
+     * Cost of replaying one link packet after a CRC failure (fault
+     * injection, docs/FAULTS.md): the NACK round trip across the mesh
+     * diameter plus retransmission of @p packetBytes.
+     */
+    Cost crcReplayCost(std::uint64_t packetBytes) const;
+
     /** Total router leakage power of the mesh, watts. */
     double leakageW() const;
 

@@ -117,6 +117,55 @@ accessIntervals(const accel::DescriptorProgram &prog)
     return out;
 }
 
+const char *
+name(EventState state)
+{
+    switch (state) {
+      case EventState::Pending:
+        return "pending";
+      case EventState::Done:
+        return "done";
+      case EventState::Retried:
+        return "retried";
+      case EventState::FellBack:
+        return "fell_back";
+      case EventState::TimedOut:
+        return "timed_out";
+      case EventState::Failed:
+        return "failed";
+      default:
+        panic("name: bad event state");
+    }
+}
+
+bool
+completed(EventState state)
+{
+    return state == EventState::Done || state == EventState::Retried ||
+           state == EventState::FellBack;
+}
+
+EventState
+Event::state() const
+{
+    fatalIf(!valid(), "Event::state: invalid event");
+    return state_->state;
+}
+
+const Status &
+Event::status() const
+{
+    fatalIf(!valid(), "Event::status: invalid event");
+    return state_->status;
+}
+
+unsigned
+Event::retries() const
+{
+    fatalIf(!valid(), "Event::retries: invalid event");
+    return state_->stats.retries;
+}
+
 unsigned
 Event::stack() const
 {

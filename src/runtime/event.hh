@@ -22,11 +22,43 @@
 
 #include "accel/descriptor.hh"
 #include "accel/layer.hh"
+#include "common/status.hh"
 #include "common/units.hh"
 
 namespace mealib::runtime {
 
 class MealibRuntime;
+
+/**
+ * Terminal states of a submitted command (docs/FAULTS.md). The runtime
+ * resolves the state at submit time on the simulated timeline:
+ *
+ *   DONE       clean completion on the scheduled stack;
+ *   RETRIED    completed on an accelerator after >= 1 retried attempt
+ *              (transient faults absorbed by the retry policy);
+ *   FELL_BACK  completed, but on the host via the minimkl fallback path
+ *              (retry budget exhausted, watchdog fired, or every stack
+ *              failed);
+ *   TIMED_OUT  the watchdog fired and host fallback was disabled — the
+ *              command did not complete;
+ *   FAILED     permanent failure with fallback disabled, or an invalid
+ *              submission (e.g. a stack index out of range).
+ */
+enum class EventState
+{
+    Pending = 0,
+    Done,
+    Retried,
+    FellBack,
+    TimedOut,
+    Failed,
+};
+
+/** Printable state name ("done", "fell_back", ...). */
+const char *name(EventState state);
+
+/** @return whether @p state means the command's results are usable. */
+bool completed(EventState state);
 
 /** Half-open physical byte range touched by a descriptor operand. */
 struct AccessInterval
@@ -70,6 +102,14 @@ struct EventState
     std::uint64_t epoch = 0;    //!< runtime accounting epoch at submit
     bool waited = false;        //!< host has observed DONE
     accel::ExecStats stats;     //!< full cost of this invocation
+    /** Terminal state (qualified: the injected class name shadows the
+     * enum inside this struct). */
+    mealib::runtime::EventState state =
+        mealib::runtime::EventState::Pending;
+    Status status;              //!< non-ok for TimedOut/Failed
+    bool onHost = false;        //!< completed via host fallback
+    double spanSeconds = 0.0;   //!< accelerator occupancy (for drains)
+    std::vector<AccessInterval> intervals; //!< hazard footprint copy
 };
 
 } // namespace detail
@@ -87,6 +127,15 @@ class Event
     const accel::ExecStats &wait();
 
     bool valid() const { return state_ != nullptr; }
+
+    /** Terminal state of the command (see EventState). */
+    EventState state() const;
+
+    /** Error detail: ok() unless state() is TIMED_OUT or FAILED. */
+    const Status &status() const;
+
+    /** Failed attempts absorbed by retry before completion. */
+    unsigned retries() const;
 
     /** Stack the command was scheduled on. */
     unsigned stack() const;

@@ -1,5 +1,7 @@
 #include "runtime/queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace mealib::runtime {
@@ -12,13 +14,12 @@ CommandQueue::CommandQueue(unsigned depth) : depth_(depth)
 double
 CommandQueue::admitSeconds(double now) const
 {
-    if (inflightFinish_.size() < depth_)
+    if (inflight_.size() < depth_)
         return now;
     // The host must wait for enough retirements to free one slot;
     // finish times are non-decreasing, so the blocking command is the
     // one `depth` places from the tail.
-    double unblock =
-        inflightFinish_[inflightFinish_.size() - depth_];
+    double unblock = inflight_[inflight_.size() - depth_].finish;
     return unblock > now ? unblock : now;
 }
 
@@ -26,9 +27,9 @@ void
 CommandQueue::push(double start, double finish)
 {
     panicIf(finish < start, "command queue: negative occupancy");
-    panicIf(!inflightFinish_.empty() && finish < inflightFinish_.back(),
+    panicIf(!inflight_.empty() && finish < inflight_.back().finish,
             "command queue: out-of-order completion");
-    inflightFinish_.push_back(finish);
+    inflight_.push_back({start, finish});
     if (finish > busyUntil_)
         busyUntil_ = finish;
     busySeconds_ += finish - start;
@@ -38,14 +39,37 @@ CommandQueue::push(double start, double finish)
 void
 CommandQueue::retireUpTo(double now)
 {
-    while (!inflightFinish_.empty() && inflightFinish_.front() <= now)
-        inflightFinish_.pop_front();
+    while (!inflight_.empty() && inflight_.front().finish <= now)
+        inflight_.pop_front();
+}
+
+std::size_t
+CommandQueue::cancelFrom(double now)
+{
+    std::size_t cancelled = 0;
+    while (!inflight_.empty() && inflight_.back().finish > now) {
+        Slot &s = inflight_.back();
+        ++cancelled;
+        if (s.start >= now) {
+            // Never started: remove its whole occupancy.
+            busySeconds_ -= s.finish - s.start;
+            inflight_.pop_back();
+        } else {
+            // Mid-flight when the stack died: it ends here.
+            busySeconds_ -= s.finish - now;
+            s.finish = now;
+            break;
+        }
+    }
+    busyUntil_ = inflight_.empty() ? std::min(busyUntil_, now)
+                                   : inflight_.back().finish;
+    return cancelled;
 }
 
 void
 CommandQueue::reset()
 {
-    inflightFinish_.clear();
+    inflight_.clear();
     busyUntil_ = 0.0;
     busySeconds_ = 0.0;
     submitted_ = 0;

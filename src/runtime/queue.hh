@@ -41,6 +41,16 @@ class CommandQueue
     /** Retire every command whose finish time is <= @p now. */
     void retireUpTo(double now);
 
+    /**
+     * Stack-failure drain (docs/FAULTS.md): cancel every command still
+     * occupying the stack past @p now. Queued-but-unstarted commands
+     * are removed outright; a command mid-execution at @p now is
+     * truncated to end there (the failure killed it). Busy accounting
+     * shrinks to match. @return the number of commands cancelled or
+     * truncated — the runtime re-homes those on survivors or the host.
+     */
+    std::size_t cancelFrom(double now);
+
     /** Time the stack finishes its last enqueued command. */
     double busyUntilSeconds() const { return busyUntil_; }
 
@@ -51,7 +61,7 @@ class CommandQueue
     std::uint64_t submitted() const { return submitted_; }
 
     /** Commands currently outstanding (enqueued, not retired). */
-    std::size_t outstanding() const { return inflightFinish_.size(); }
+    std::size_t outstanding() const { return inflight_.size(); }
 
     unsigned depth() const { return depth_; }
 
@@ -59,10 +69,17 @@ class CommandQueue
     void reset();
 
   private:
+    /** One outstanding command's occupancy of the stack. */
+    struct Slot
+    {
+        double start;
+        double finish;
+    };
+
     unsigned depth_;
-    /** Finish times of outstanding commands, oldest first. In-order
-     * issue on one stack keeps this monotonically non-decreasing. */
-    std::deque<double> inflightFinish_;
+    /** Outstanding commands, oldest first. In-order issue on one stack
+     * keeps finish times monotonically non-decreasing. */
+    std::deque<Slot> inflight_;
     double busyUntil_ = 0.0;
     double busySeconds_ = 0.0;
     std::uint64_t submitted_ = 0;

@@ -32,6 +32,18 @@ RuntimeConfig::validate() const
     fatalIf(queueDepth == 0,
             "runtime config: per-stack command queues need a depth of "
             "at least 1 (queueDepth == 0)");
+    fault.validate();
+    fatalIf(fault.failStack != fault::kNoStack &&
+                fault.failStack >= numStacks,
+            "runtime config: scripted failure targets stack ",
+            fault.failStack, " but only ", numStacks,
+            " stacks are configured");
+    fatalIf(watchdogSeconds <= 0.0,
+            "runtime config: watchdog timeout must be positive");
+    fatalIf(retry.backoffBaseSeconds < 0.0,
+            "runtime config: retry backoff base must be >= 0");
+    fatalIf(retry.backoffMultiplier < 1.0,
+            "runtime config: retry backoff multiplier must be >= 1");
 }
 
 namespace {
@@ -49,7 +61,8 @@ validated(const RuntimeConfig &cfg)
 MealibRuntime::MealibRuntime(const RuntimeConfig &cfg)
     : cfg_(validated(cfg)),
       mem_(std::make_unique<dram::PhysMem>(cfg.backingBytes)),
-      host_(cfg.hostCpu)
+      host_(cfg.hostCpu), faults_(cfg.fault), mesh_(cfg.mesh),
+      slowdown_(cfg.numStacks, 1.0)
 {
     const std::uint64_t span = cfg.backingBytes / cfg.numStacks;
     // The driver reserves the contiguous region and splits it: command
@@ -260,7 +273,13 @@ MealibRuntime::accSubmit(AccPlanHandle handle)
     auto it = plans_.find(handle);
     fatalIf(it == plans_.end(), "accSubmit: unknown plan handle ",
             handle);
-    return accSubmitOn(handle, sched_->pick(homeStackOf(it->second.prog)));
+    applyScriptedFailure();
+    unsigned home = homeStackOf(it->second.prog);
+    // With no survivor left the target is moot: accSubmitOn reroutes an
+    // unhealthy target to the host (or a FAILED event) on its own.
+    unsigned target =
+        sched_->healthyCount() > 0 ? sched_->pick(home) : home;
+    return accSubmitOn(handle, target);
 }
 
 Event
@@ -269,9 +288,32 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     auto it = plans_.find(handle);
     fatalIf(it == plans_.end(), "accSubmit: unknown plan handle ",
             handle);
-    fatalIf(stackIdx >= cfg_.numStacks, "accSubmit: stack ", stackIdx,
-            " out of range (", cfg_.numStacks, " stacks)");
+    // An out-of-range stack is a recoverable caller error, not a
+    // process-killing one: report it on the returned event.
+    if (stackIdx >= cfg_.numStacks) {
+        return submitError(Status::error(
+            ErrorCode::InvalidArgument,
+            "accSubmitOn: stack " + std::to_string(stackIdx) +
+                " out of range (" + std::to_string(cfg_.numStacks) +
+                " stacks)"));
+    }
     Plan &plan = it->second;
+
+    applyScriptedFailure();
+    if (sched_->failed(stackIdx)) {
+        // The caller's target is dead: steer to a survivor, fall back
+        // to the host, or report the loss — never submit to it.
+        if (sched_->healthyCount() > 0) {
+            stackIdx = sched_->pick(stackIdx);
+        } else if (cfg_.retry.hostFallback) {
+            return submitOnHost(plan, stackIdx, 0);
+        } else {
+            return submitError(Status::error(
+                ErrorCode::DeviceFailed,
+                "accSubmitOn: every stack has failed and host "
+                "fallback is disabled"));
+        }
+    }
 
     // 1. Coherence: write back dirty lines so the memory-side view is
     //    current (wbinvd, Sec. 3.5).
@@ -312,6 +354,20 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     // Everything accounted so far occupies the stack; the flush and
     // handshake below occupy the host track instead.
     const double accelSpan = es.total.seconds;
+    const double accelJoules = es.total.joules;
+
+    // Roll the fault ladder for this command. The functional results
+    // above were computed exactly once and are final either way: faults
+    // only shape cost, occupancy and the event's terminal state.
+    const std::uint64_t cmd = cmdIndex_++;
+    Attempts at;
+    if (faults_.enabled()) {
+        at = resolveAttempts(cmd, stackIdx, accelSpan, accelJoules);
+        es.retries = at.retries;
+        es.faultPenalty = at.penalty;
+        es.total += at.penalty;
+        acct_.retryCount += at.retries;
+    }
 
     // Fold the software-side invocation costs into the stats.
     es.invocation += flush + handshake;
@@ -344,13 +400,17 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
             if (iv.conflictsWith(pa.interval))
                 ready = std::max(ready, pa.finishSeconds);
 
+    // Stack occupancy: clean span plus any fault-recovery time, scaled
+    // by the stack's degradation factor (1.0 while healthy — exact).
+    const double spanBase =
+        faults_.enabled() ? at.occupancySeconds : accelSpan;
+    const double occupancy = spanBase * slowdown_[stackIdx];
+
     const double start = std::max(ready, q.busyUntilSeconds());
-    const double finish = start + accelSpan;
+    const double finish = start + occupancy;
     q.push(start, finish);
     acct_.busyByStack.add("stack" + std::to_string(stackIdx),
-                          accelSpan);
-    for (const AccessInterval &iv : plan.intervals)
-        pending_.push_back({iv, finish});
+                          occupancy);
 
     auto state = std::make_shared<detail::EventState>();
     state->id = nextEventId_++;
@@ -359,8 +419,52 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     state->startSeconds = start;
     state->finishSeconds = finish;
     state->epoch = epoch_;
-    state->stats = es;
-    inflight_.push_back(state);
+    state->spanSeconds = spanBase;
+    state->intervals = plan.intervals;
+
+    for (const AccessInterval &iv : plan.intervals)
+        pending_.push_back({iv, finish, state->id});
+
+    if (at.success) {
+        state->state = at.retries ? EventState::Retried
+                                  : EventState::Done;
+        state->stats = es;
+        inflight_.push_back(state);
+    } else if (cfg_.retry.hostFallback) {
+        // Retry budget exhausted on the accelerator: the stack burned
+        // `occupancy` on dead attempts, then the host re-executes the
+        // plan natively (the minimkl naive-kernel cost model). The
+        // fallback is synchronous on the host track, so the event is
+        // already complete when the submit returns.
+        hostWaitUntil(finish);
+        Cost c = host_.run(fallbackProfile(es));
+        hostWork(c.seconds);
+        acct_.host += c;
+        acct_.fallbackSeconds += c.seconds;
+        acct_.fallbackCount++;
+        es.fellBack = true;
+        es.total += c;
+        state->state = EventState::FellBack;
+        state->onHost = true;
+        state->finishSeconds = hostSeconds_;
+        state->stats = es;
+        state->waited = true;
+    } else {
+        // No recovery left: the command terminates without a result.
+        state->state = at.lastFault == fault::FaultKind::CommandHang
+                           ? EventState::TimedOut
+                           : EventState::Failed;
+        state->status = Status::error(
+            state->state == EventState::TimedOut
+                ? ErrorCode::Timeout
+                : ErrorCode::DeviceFailed,
+            std::string("command ") + std::to_string(cmd) +
+                " exhausted its retry budget on stack " +
+                std::to_string(stackIdx) + " (last fault: " +
+                fault::name(at.lastFault) + ")");
+        state->stats = es;
+        inflight_.push_back(state);
+    }
     updateMakespan();
     return Event(this, state);
 }
@@ -416,6 +520,269 @@ MealibRuntime::accDestroy(AccPlanHandle handle)
     plans_.erase(it);
 }
 
+// --- degradation & fault injection (docs/FAULTS.md) -------------------
+
+void
+MealibRuntime::applyScriptedFailure()
+{
+    const fault::FaultConfig &fc = cfg_.fault;
+    if (fc.failStack == fault::kNoStack || sched_->failed(fc.failStack))
+        return;
+    if (cmdIndex_ >= fc.failStackAfter)
+        failStack(fc.failStack);
+}
+
+void
+MealibRuntime::failStack(unsigned stackIdx)
+{
+    fatalIf(stackIdx >= cfg_.numStacks, "failStack: stack ", stackIdx,
+            " out of range (", cfg_.numStacks, " stacks)");
+    if (sched_->failed(stackIdx))
+        return;
+    sched_->markFailed(stackIdx);
+    faults_.record({fault::FaultKind::StackFailure, stackIdx,
+                    cmdIndex_, 0});
+
+    // Cancel everything still occupying the dead stack past `now`.
+    const double now = hostSeconds_;
+    CommandQueue &q = queues_[stackIdx];
+    const double before = q.busySeconds();
+    q.cancelFrom(now);
+    acct_.busyByStack.add("stack" + std::to_string(stackIdx),
+                          q.busySeconds() - before);
+
+    // Re-home the killed commands in submission order. Their functional
+    // results are already final (computed eagerly at submit), so the
+    // drain only re-places occupancy: on a survivor the scheduler
+    // picks, or — with none left — on the host track.
+    std::vector<std::shared_ptr<detail::EventState>> drained;
+    for (const auto &state : inflight_)
+        if (state->stack == stackIdx && !state->onHost &&
+            !state->waited && state->finishSeconds > now)
+            drained.push_back(state);
+
+    for (const auto &state : drained) {
+        acct_.retryCount++;
+        state->stats.retries++;
+        std::erase_if(pending_, [&](const PendingAccess &pa) {
+            return pa.owner == state->id;
+        });
+        if (sched_->healthyCount() > 0) {
+            unsigned dest = sched_->pick(stackIdx);
+            CommandQueue &q2 = queues_[dest];
+            double ready = std::max(now, q2.busyUntilSeconds());
+            for (const PendingAccess &pa : pending_)
+                for (const AccessInterval &iv : state->intervals)
+                    if (iv.conflictsWith(pa.interval))
+                        ready = std::max(ready, pa.finishSeconds);
+            const double span = state->spanSeconds * slowdown_[dest];
+            q2.push(ready, ready + span);
+            acct_.busyByStack.add("stack" + std::to_string(dest), span);
+            state->stack = dest;
+            state->startSeconds = ready;
+            state->finishSeconds = ready + span;
+            state->state = EventState::Retried;
+            for (const AccessInterval &iv : state->intervals)
+                pending_.push_back({iv, state->finishSeconds,
+                                    state->id});
+        } else if (cfg_.retry.hostFallback) {
+            Cost c = host_.run(fallbackProfile(state->stats));
+            hostWork(c.seconds);
+            acct_.host += c;
+            acct_.fallbackSeconds += c.seconds;
+            acct_.fallbackCount++;
+            state->stats.fellBack = true;
+            state->stats.total += c;
+            state->state = EventState::FellBack;
+            state->onHost = true;
+            state->startSeconds = hostSeconds_ - c.seconds;
+            state->finishSeconds = hostSeconds_;
+            state->waited = true;
+        } else {
+            state->state = EventState::Failed;
+            state->status = Status::error(
+                ErrorCode::DeviceFailed,
+                "stack " + std::to_string(stackIdx) +
+                    " failed with no survivor and host fallback "
+                    "disabled");
+            state->finishSeconds = now;
+        }
+    }
+    updateMakespan();
+}
+
+bool
+MealibRuntime::stackFailed(unsigned stackIdx) const
+{
+    return sched_->failed(stackIdx);
+}
+
+unsigned
+MealibRuntime::healthyStackCount() const
+{
+    return sched_->healthyCount();
+}
+
+void
+MealibRuntime::degradeStack(unsigned stackIdx, double slowdown)
+{
+    fatalIf(stackIdx >= cfg_.numStacks, "degradeStack: stack ",
+            stackIdx, " out of range (", cfg_.numStacks, " stacks)");
+    fatalIf(slowdown < 1.0, "degradeStack: slowdown must be >= 1, got ",
+            slowdown);
+    slowdown_[stackIdx] = slowdown;
+}
+
+double
+MealibRuntime::stackSlowdown(unsigned stackIdx) const
+{
+    fatalIf(stackIdx >= cfg_.numStacks, "stackSlowdown: stack ",
+            stackIdx, " out of range (", cfg_.numStacks, " stacks)");
+    return slowdown_[stackIdx];
+}
+
+MealibRuntime::Attempts
+MealibRuntime::resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
+                               double spanSeconds, double accelJoules)
+{
+    /** HMC-style request packet re-sent after a CRC failure. */
+    constexpr std::uint64_t kCrcPacketBytes = 128;
+
+    Attempts at;
+    const dram::Stack &st = *stacks_[stackIdx];
+    double backoff = cfg_.retry.backoffBaseSeconds;
+    for (unsigned attempt = 0;; ++attempt) {
+        fault::FaultPlan p = faults_.roll(cmd, attempt);
+        if (p.eccCorrected > 0) {
+            // In-line vault ECC corrections: latency-only, the attempt
+            // still completes.
+            at.penalty.seconds +=
+                p.eccCorrected * st.eccCorrectPenaltySeconds();
+            acct_.eccCorrected += p.eccCorrected;
+            faults_.record({fault::FaultKind::EccCorrectable, stackIdx,
+                            cmd, attempt});
+        }
+        if (p.succeeds()) {
+            at.success = true;
+            at.retries = attempt;
+            at.occupancySeconds = spanSeconds + at.penalty.seconds;
+            return at;
+        }
+        if (p.hang) {
+            // DONE never arrives; the watchdog reclaims the stack.
+            at.penalty.seconds += cfg_.watchdogSeconds;
+            acct_.watchdogFires++;
+            faults_.record({fault::FaultKind::CommandHang, stackIdx,
+                            cmd, attempt});
+            at.lastFault = fault::FaultKind::CommandHang;
+        } else {
+            // A transient fault killed the attempt partway through:
+            // the span fraction already executed is wasted, plus the
+            // fault's own detection / replay penalty.
+            at.penalty.seconds += spanSeconds * p.failFraction;
+            at.penalty.joules += accelJoules * p.failFraction;
+            if (p.failure == fault::FaultKind::LinkCrc)
+                at.penalty += mesh_.crcReplayCost(kCrcPacketBytes);
+            else if (p.failure == fault::FaultKind::EccUncorrectable)
+                at.penalty.seconds +=
+                    st.eccUncorrectableDetectSeconds();
+            faults_.record({p.failure, stackIdx, cmd, attempt});
+            at.lastFault = p.failure;
+        }
+        if (attempt >= cfg_.retry.maxRetries) {
+            at.success = false;
+            at.retries = cfg_.retry.maxRetries;
+            at.occupancySeconds = at.penalty.seconds;
+            return at;
+        }
+        at.penalty.seconds += backoff;
+        backoff *= cfg_.retry.backoffMultiplier;
+    }
+}
+
+Event
+MealibRuntime::submitError(Status status)
+{
+    auto state = std::make_shared<detail::EventState>();
+    state->id = nextEventId_++;
+    state->epoch = epoch_;
+    state->waited = true;
+    state->state = EventState::Failed;
+    state->status = std::move(status);
+    return Event(this, state);
+}
+
+host::KernelProfile
+MealibRuntime::fallbackProfile(const accel::ExecStats &es) const
+{
+    // The minimkl naive kernels the host falls back to: scalar
+    // (1/8 of SIMD issue), single-threaded, cache-unfriendly streaming.
+    host::KernelProfile p;
+    p.name = "fault_fallback";
+    p.flops = es.flops;
+    p.bytesRead = 0.5 * es.bytesMoved;
+    p.bytesWritten = 0.5 * es.bytesMoved;
+    p.simdEff = 0.125;
+    p.parallelFraction = 0.0;
+    p.memEff = 0.5;
+    return p;
+}
+
+Event
+MealibRuntime::submitOnHost(Plan &plan, unsigned targetStack,
+                            unsigned retries)
+{
+    cmdIndex_++;
+    // Functional results still come from the shared functional engine,
+    // so fallback numerics are bit-identical to the accelerated path
+    // (docs/FAULTS.md); only the *cost* is priced as host execution.
+    const std::uint8_t *img = mem_->raw(plan.descAddr, plan.descBytes);
+    accel::DescriptorProgram prog = accel::decode(img, plan.descBytes);
+    stacks_[targetStack]->acquire(dram::Owner::Accelerator);
+    accel::ExecStats es = layers_[targetStack]->execute(prog, *mem_);
+    stacks_[targetStack]->release(dram::Owner::Accelerator);
+
+    // The host executes after every conflicting in-flight command.
+    double ready = hostSeconds_;
+    for (const PendingAccess &pa : pending_)
+        for (const AccessInterval &iv : plan.intervals)
+            if (iv.conflictsWith(pa.interval))
+                ready = std::max(ready, pa.finishSeconds);
+    hostWaitUntil(ready);
+
+    Cost c = host_.run(fallbackProfile(es));
+    hostWork(c.seconds);
+    acct_.host += c;
+    acct_.fallbackSeconds += c.seconds;
+    acct_.fallbackCount++;
+    acct_.retryCount += retries;
+
+    accel::ExecStats hostStats;
+    hostStats.total = c;
+    hostStats.compsExecuted = es.compsExecuted;
+    hostStats.passes = es.passes;
+    hostStats.bytesMoved = es.bytesMoved;
+    hostStats.flops = es.flops;
+    hostStats.retries = retries;
+    hostStats.fellBack = true;
+
+    auto state = std::make_shared<detail::EventState>();
+    state->id = nextEventId_++;
+    state->stack = targetStack;
+    state->submitSeconds = hostSeconds_;
+    state->startSeconds = hostSeconds_ - c.seconds;
+    state->finishSeconds = hostSeconds_;
+    state->epoch = epoch_;
+    state->spanSeconds = c.seconds;
+    state->intervals = plan.intervals;
+    state->stats = hostStats;
+    state->state = EventState::FellBack;
+    state->onHost = true;
+    state->waited = true;
+    updateMakespan();
+    return Event(this, state);
+}
+
 Cost
 MealibRuntime::runOnHost(const host::KernelProfile &profile)
 {
@@ -438,6 +805,9 @@ MealibRuntime::resetAccounting()
     sched_->reset();
     nextEventId_ = 1;
     epoch_++;
+    cmdIndex_ = 0;
+    faults_.reset();
+    slowdown_.assign(cfg_.numStacks, 1.0);
 }
 
 const accel::ExecStats &

@@ -36,9 +36,11 @@
 #include "accel/descriptor.hh"
 #include "accel/layer.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "common/units.hh"
 #include "dram/physmem.hh"
 #include "dram/stack.hh"
+#include "fault/fault.hh"
 #include "host/cpu.hh"
 #include "noc/mesh.hh"
 #include "runtime/alloc.hh"
@@ -47,6 +49,24 @@
 #include "runtime/scheduler.hh"
 
 namespace mealib::runtime {
+
+/**
+ * Recovery policy for injected faults (docs/FAULTS.md): bounded retry
+ * with exponential backoff for transient faults, then — if allowed —
+ * transparent re-execution of the plan on the host.
+ */
+struct RetryPolicy
+{
+    /** Retries after the first failed attempt (0 = fail fast). */
+    unsigned maxRetries = 3;
+    /** Backoff before retry k: base * multiplier^k seconds. */
+    double backoffBaseSeconds = 2.0e-6;
+    double backoffMultiplier = 2.0;
+    /** Re-run the plan on the host (minimkl naive-kernel cost model)
+     * when the retry budget is exhausted or no stack survives. With
+     * this off, exhausted commands terminate TIMED_OUT / FAILED. */
+    bool hostFallback = true;
+};
 
 /** Construction parameters of the runtime. */
 struct RuntimeConfig
@@ -65,6 +85,16 @@ struct RuntimeConfig
     unsigned queueDepth = 8;
     /** Stack-placement policy for accSubmit(). */
     SchedulerPolicy scheduler = SchedulerPolicy::Locality;
+
+    /** Seeded fault injection (disabled by default: all rates zero and
+     * no scripted failure, so the ledger is bit-for-bit identical to a
+     * fault-free build). */
+    fault::FaultConfig fault;
+    /** Recovery policy applied when injection is enabled. */
+    RetryPolicy retry;
+    /** Per-command watchdog on the simulated clock: a hung command is
+     * declared dead after this long and handed to the retry policy. */
+    double watchdogSeconds = 100.0e-6;
 
     RuntimeConfig();
 
@@ -96,6 +126,18 @@ struct RuntimeAccounting
     double hostBusySeconds = 0.0;
     /** Per-stack accelerator busy seconds, keyed "stack0", "stack1"... */
     Breakdown busyByStack;
+
+    // --- degraded-mode view (fault injection, docs/FAULTS.md) ---------
+    /** Host seconds spent re-executing plans that fell back. */
+    double fallbackSeconds = 0.0;
+    /** Failed attempts absorbed by retry (incl. drained commands). */
+    std::uint64_t retryCount = 0;
+    /** Commands that completed via host fallback. */
+    std::uint64_t fallbackCount = 0;
+    /** Watchdog expirations on hung commands. */
+    std::uint64_t watchdogFires = 0;
+    /** In-line corrected ECC events (latency-only). */
+    std::uint64_t eccCorrected = 0;
 
     Cost
     total() const
@@ -193,6 +235,36 @@ class MealibRuntime
     const CommandQueue &queue(unsigned stack) const;
     const Scheduler &scheduler() const { return *sched_; }
 
+    // --- degradation & fault injection (docs/FAULTS.md) ---------------
+
+    /**
+     * Mark @p stack permanently failed. New submissions steer away from
+     * it; its queued-but-unstarted commands (and the one it was running)
+     * are drained to surviving stacks — or re-executed on the host when
+     * none survive — with the cost charged to the degraded-mode ledger.
+     */
+    void failStack(unsigned stack);
+
+    /** @return whether @p stack has been marked failed. */
+    bool stackFailed(unsigned stack) const;
+
+    /** Stacks not marked failed. */
+    unsigned healthyStackCount() const;
+
+    /**
+     * Mark @p stack degraded: commands it executes occupy the timeline
+     * @p slowdown times longer (>= 1). The serial cost ledger is
+     * unchanged — degradation is visible in the overlap-aware view
+     * (makespan, busyByStack). Reset by resetAccounting().
+     */
+    void degradeStack(unsigned stack, double slowdown);
+
+    /** Current timeline slowdown factor of @p stack (1 = healthy). */
+    double stackSlowdown(unsigned stack) const;
+
+    /** The seeded fault injector (history log lives here). */
+    const fault::FaultModel &faultModel() const { return faults_; }
+
     // --- host-side accounting ------------------------------------------
 
     /** Record compute-bounded work the host executed natively. The
@@ -231,6 +303,7 @@ class MealibRuntime
     {
         AccessInterval interval;
         double finishSeconds;
+        std::uint64_t owner = 0; //!< event id, for drain re-homing
     };
 
     RuntimeConfig cfg_;
@@ -259,6 +332,38 @@ class MealibRuntime
     const accel::ExecStats &
     eventWait(const std::shared_ptr<detail::EventState> &state);
 
+    // --- fault handling (docs/FAULTS.md) -------------------------------
+
+    /** Fire the scripted stack failure once its command index passes. */
+    void applyScriptedFailure();
+
+    /** Terminal FAILED event for an invalid submission; not enqueued. */
+    Event submitError(Status status);
+
+    /** Host-side re-execution profile of a plan whose accelerator run
+     * produced @p es (the minimkl naive-kernel cost model). */
+    host::KernelProfile fallbackProfile(const accel::ExecStats &es) const;
+
+    /** Execute @p plan entirely on the host track (no healthy stack).
+     * @p cmd is the global submission index, @p retries the attempts
+     * already burned on an accelerator before falling back. */
+    Event submitOnHost(Plan &plan, unsigned targetStack,
+                       unsigned retries);
+
+    /** Resolve the retry ladder of command @p cmd on @p stackIdx.
+     * On success, returns the total stack occupancy; on exhaustion,
+     * occupancy covers the failed attempts and @p outLastFault is set. */
+    struct Attempts
+    {
+        bool success = true;
+        unsigned retries = 0;
+        double occupancySeconds = 0.0; //!< stack time incl. clean span
+        Cost penalty;                  //!< extra over the clean cost
+        fault::FaultKind lastFault = fault::FaultKind::None;
+    };
+    Attempts resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
+                             double spanSeconds, double accelJoules);
+
     std::unique_ptr<ContigAllocator> cmdAlloc_;
     std::vector<std::unique_ptr<ContigAllocator>> dataAllocs_;
     std::map<AccPlanHandle, Plan> plans_;
@@ -273,6 +378,12 @@ class MealibRuntime
     std::vector<std::shared_ptr<detail::EventState>> inflight_;
     std::uint64_t nextEventId_ = 1;
     std::uint64_t epoch_ = 0; //!< bumped by resetAccounting
+
+    // --- fault-injection state (reset by resetAccounting) --------------
+    fault::FaultModel faults_;
+    noc::Mesh mesh_; //!< CRC replay penalties on the SerDes/NoC links
+    std::vector<double> slowdown_; //!< per-stack degradation factor
+    std::uint64_t cmdIndex_ = 0;   //!< global submission counter
 };
 
 } // namespace mealib::runtime

@@ -29,19 +29,59 @@ schedulerPolicy(const std::string &name)
 }
 
 Scheduler::Scheduler(SchedulerPolicy policy, unsigned numStacks)
-    : policy_(policy), numStacks_(numStacks)
+    : policy_(policy), numStacks_(numStacks), healthy_(numStacks),
+      failed_(numStacks, false)
 {
     fatalIf(numStacks == 0, "scheduler: need at least one stack");
+}
+
+void
+Scheduler::markFailed(unsigned stack)
+{
+    fatalIf(stack >= numStacks_, "markFailed: stack ", stack,
+            " out of range (", numStacks_, " stacks)");
+    if (!failed_[stack]) {
+        failed_[stack] = true;
+        --healthy_;
+    }
+}
+
+bool
+Scheduler::failed(unsigned stack) const
+{
+    return stack < numStacks_ && failed_[stack];
+}
+
+void
+Scheduler::reset()
+{
+    next_ = 0;
+    healthy_ = numStacks_;
+    failed_.assign(numStacks_, false);
 }
 
 unsigned
 Scheduler::pick(unsigned homeStack)
 {
+    panicIf(healthy_ == 0, "pick: every stack is marked failed");
     switch (policy_) {
       case SchedulerPolicy::RoundRobin:
-        return next_++ % numStacks_;
-      case SchedulerPolicy::Locality:
-        return homeStack < numStacks_ ? homeStack : 0;
+        while (true) {
+            unsigned s = next_++ % numStacks_;
+            if (!failed_[s])
+                return s;
+        }
+      case SchedulerPolicy::Locality: {
+        unsigned s = homeStack < numStacks_ ? homeStack : 0;
+        // A failed home reroutes to the next healthy stack upward —
+        // deterministic, and adjacent homes spread across survivors.
+        for (unsigned i = 0; i < numStacks_; ++i) {
+            unsigned cand = (s + i) % numStacks_;
+            if (!failed_[cand])
+                return cand;
+        }
+        panic("pick: no healthy stack found");
+      }
       default:
         panic("pick: bad scheduler policy");
     }

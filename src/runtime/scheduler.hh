@@ -14,6 +14,7 @@
 #define MEALIB_RUNTIME_SCHEDULER_HH
 
 #include <string>
+#include <vector>
 
 namespace mealib::runtime {
 
@@ -31,25 +32,43 @@ const char *name(SchedulerPolicy policy);
 SchedulerPolicy schedulerPolicy(const std::string &name);
 
 /** The stack picker. One instance per runtime; stateful (round robin
- * keeps a cursor) so reset() restores a freshly constructed ledger. */
+ * keeps a cursor, and failed stacks are remembered) so reset()
+ * restores a freshly constructed ledger. Degradation-aware: stacks
+ * marked failed are never picked — locality reroutes an unhealthy home
+ * to the next healthy stack, round robin skips failed slots — so new
+ * submissions steer away from dead hardware (docs/FAULTS.md). */
 class Scheduler
 {
   public:
     Scheduler(SchedulerPolicy policy, unsigned numStacks);
 
-    /** Stack the next plan should execute on. @p homeStack is the
-     * stack owning the plan's first output operand. */
+    /** Stack the next plan should execute on, never a failed one.
+     * @p homeStack is the stack owning the plan's first output operand.
+     * Requires healthyCount() > 0 (the runtime falls back to the host
+     * before asking an all-failed scheduler). */
     unsigned pick(unsigned homeStack);
+
+    /** Mark @p stack permanently failed: pick() avoids it from now on. */
+    void markFailed(unsigned stack);
+
+    /** @return whether @p stack has been marked failed. */
+    bool failed(unsigned stack) const;
+
+    /** Stacks not marked failed. */
+    unsigned healthyCount() const { return healthy_; }
 
     SchedulerPolicy policy() const { return policy_; }
 
-    /** Restore construction-time state (used by resetAccounting). */
-    void reset() { next_ = 0; }
+    /** Restore construction-time state (used by resetAccounting),
+     * including stack health: scripted failures replay from scratch. */
+    void reset();
 
   private:
     SchedulerPolicy policy_;
     unsigned numStacks_;
     unsigned next_ = 0;
+    unsigned healthy_;
+    std::vector<bool> failed_;
 };
 
 } // namespace mealib::runtime

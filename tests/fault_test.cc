@@ -1,0 +1,531 @@
+// Tests for the seeded fault-injection and graceful-degradation layer:
+// bit-for-bit determinism (disabled faults, same-seed replay, reset
+// replay), fallback numerics, retry/watchdog accounting, scheduler
+// avoidance of failed stacks, and mid-flight queue drains.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "runtime/runtime.hh"
+
+namespace mealib::runtime {
+namespace {
+
+using accel::AccelKind;
+using accel::DescriptorProgram;
+using accel::OpCall;
+
+// Large loops keep the accelerator span well above the host-side submit
+// cost, so a mid-flight failStack() catches the backlog still queued.
+constexpr std::int64_t kSliceN = 1 << 13; // floats per iteration
+constexpr std::uint32_t kIters = 256;     // loop trip count
+constexpr std::int64_t kN = kSliceN * kIters;
+
+RuntimeConfig
+baseConfig(unsigned stacks = 2)
+{
+    RuntimeConfig cfg;
+    cfg.backingBytes = 128_MiB;
+    cfg.numStacks = stacks;
+    return cfg;
+}
+
+AccPlanHandle
+planLoopedAxpy(MealibRuntime &rt, const float *x, float *y,
+               float alpha = 2.0f)
+{
+    OpCall c;
+    c.kind = AccelKind::AXPY;
+    c.n = static_cast<std::uint64_t>(kSliceN);
+    c.alpha = alpha;
+    c.beta = 1.0f;
+    c.in0.base = rt.physOf(x);
+    c.out.base = rt.physOf(y);
+    c.in0.stride = {kSliceN * 4, 0, 0, 0};
+    c.out.stride = {kSliceN * 4, 0, 0, 0};
+    accel::LoopSpec loop;
+    loop.dims = {kIters, 1, 1, 1};
+    DescriptorProgram prog;
+    prog.addLoop(loop, 2);
+    prog.addComp(c);
+    prog.addPassEnd();
+    return rt.accPlan(prog);
+}
+
+/** Per-stack operand arrays of one workload instance. */
+struct Operands
+{
+    std::vector<float *> x, y;
+};
+
+Operands
+fillOperands(MealibRuntime &rt)
+{
+    Operands ops;
+    for (unsigned s = 0; s < rt.numStacks(); ++s) {
+        auto *x = static_cast<float *>(rt.memAllocOn(s, kN * 4));
+        auto *y = static_cast<float *>(rt.memAllocOn(s, kN * 4));
+        for (std::int64_t i = 0; i < kN; ++i) {
+            x[i] = 0.25f * static_cast<float>(i % 37) + s;
+            y[i] = 1.0f + 0.5f * static_cast<float>(i % 11);
+        }
+        ops.x.push_back(x);
+        ops.y.push_back(y);
+    }
+    return ops;
+}
+
+/** Submit a few chained commands per stack and wait for all of them. */
+std::vector<Event>
+runWorkload(MealibRuntime &rt, const Operands &ops,
+            unsigned perStack = 3)
+{
+    std::vector<Event> events;
+    for (unsigned round = 0; round < perStack; ++round)
+        for (unsigned s = 0; s < rt.numStacks(); ++s) {
+            AccPlanHandle h = planLoopedAxpy(rt, ops.x[s], ops.y[s]);
+            events.push_back(rt.accSubmit(h));
+        }
+    rt.waitAll();
+    return events;
+}
+
+void
+expectSameLedger(const RuntimeAccounting &a, const RuntimeAccounting &b)
+{
+    EXPECT_EQ(a.host.seconds, b.host.seconds);
+    EXPECT_EQ(a.host.joules, b.host.joules);
+    EXPECT_EQ(a.accel.seconds, b.accel.seconds);
+    EXPECT_EQ(a.accel.joules, b.accel.joules);
+    EXPECT_EQ(a.invocation.seconds, b.invocation.seconds);
+    EXPECT_EQ(a.invocation.joules, b.invocation.joules);
+    EXPECT_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.hostBusySeconds, b.hostBusySeconds);
+    EXPECT_EQ(a.fallbackSeconds, b.fallbackSeconds);
+    EXPECT_EQ(a.retryCount, b.retryCount);
+    EXPECT_EQ(a.fallbackCount, b.fallbackCount);
+    EXPECT_EQ(a.watchdogFires, b.watchdogFires);
+    EXPECT_EQ(a.eccCorrected, b.eccCorrected);
+    EXPECT_EQ(a.busyByStack.parts(), b.busyByStack.parts());
+    EXPECT_EQ(a.timeByAccel.parts(), b.timeByAccel.parts());
+    EXPECT_EQ(a.energyByAccel.parts(), b.energyByAccel.parts());
+}
+
+// --- configuration ----------------------------------------------------
+
+TEST(FaultConfig, RejectsRatesOutsideUnitInterval)
+{
+    RuntimeConfig cfg = baseConfig();
+    cfg.fault.hangRate = 1.5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.fault.hangRate = -0.1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(FaultConfig, RejectsScriptedFailureOutOfRange)
+{
+    RuntimeConfig cfg = baseConfig(2);
+    cfg.fault.failStack = 2;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(FaultConfig, RejectsBadRetryAndWatchdog)
+{
+    RuntimeConfig cfg = baseConfig();
+    cfg.watchdogSeconds = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = baseConfig();
+    cfg.retry.backoffMultiplier = 0.5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(FaultConfig, DisabledByDefault)
+{
+    RuntimeConfig cfg;
+    EXPECT_FALSE(cfg.fault.enabled());
+    // A non-zero seed alone does not arm the injector.
+    cfg.fault.seed = 12345;
+    EXPECT_FALSE(cfg.fault.enabled());
+}
+
+// --- determinism ------------------------------------------------------
+
+TEST(FaultDeterminism, DisabledFaultsLeaveLedgerBitForBit)
+{
+    // A default config and one carrying a (disarmed) fault seed must
+    // produce byte-identical ledgers: the whole fault path is gated on
+    // enabled(), so shipping the feature cannot perturb clean runs.
+    MealibRuntime rtA(baseConfig());
+    Operands opsA = fillOperands(rtA);
+    runWorkload(rtA, opsA);
+
+    RuntimeConfig seeded = baseConfig();
+    seeded.fault.seed = 98765;
+    MealibRuntime rtB(seeded);
+    Operands opsB = fillOperands(rtB);
+    runWorkload(rtB, opsB);
+
+    expectSameLedger(rtA.accounting(), rtB.accounting());
+    EXPECT_EQ(rtA.accounting().retryCount, 0u);
+    EXPECT_EQ(rtA.accounting().fallbackCount, 0u);
+    EXPECT_TRUE(rtA.faultModel().history().empty());
+    for (unsigned s = 0; s < 2; ++s)
+        EXPECT_EQ(0, std::memcmp(opsA.y[s], opsB.y[s], kN * 4));
+}
+
+TEST(FaultDeterminism, SameSeedSameLedgerAcrossRuns)
+{
+    RuntimeConfig cfg = baseConfig();
+    cfg.fault.seed = 424242;
+    cfg.fault.computeTransientRate = 0.3;
+    cfg.fault.eccCorrectableRate = 0.3;
+    cfg.fault.linkCrcRate = 0.1;
+
+    MealibRuntime rtA(cfg);
+    Operands opsA = fillOperands(rtA);
+    runWorkload(rtA, opsA);
+
+    MealibRuntime rtB(cfg);
+    Operands opsB = fillOperands(rtB);
+    runWorkload(rtB, opsB);
+
+    expectSameLedger(rtA.accounting(), rtB.accounting());
+    ASSERT_EQ(rtA.faultModel().history().size(),
+              rtB.faultModel().history().size());
+    EXPECT_FALSE(rtA.faultModel().history().empty());
+    for (std::size_t i = 0; i < rtA.faultModel().history().size(); ++i) {
+        const fault::FaultEvent &a = rtA.faultModel().history()[i];
+        const fault::FaultEvent &b = rtB.faultModel().history()[i];
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.stack, b.stack);
+        EXPECT_EQ(a.command, b.command);
+        EXPECT_EQ(a.attempt, b.attempt);
+    }
+}
+
+TEST(FaultDeterminism, ResetAccountingReplaysIdentically)
+{
+    RuntimeConfig cfg = baseConfig();
+    cfg.fault.seed = 7;
+    cfg.fault.computeTransientRate = 0.4;
+    cfg.fault.hangRate = 0.1;
+
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+    runWorkload(rt, ops);
+    RuntimeAccounting first = rt.accounting();
+    std::size_t faults = rt.faultModel().history().size();
+
+    rt.resetAccounting();
+    runWorkload(rt, ops);
+    expectSameLedger(first, rt.accounting());
+    EXPECT_EQ(faults, rt.faultModel().history().size());
+}
+
+TEST(FaultDeterminism, DifferentSeedsDiverge)
+{
+    RuntimeConfig cfg = baseConfig();
+    cfg.fault.computeTransientRate = 0.5;
+    cfg.fault.seed = 1;
+    MealibRuntime rtA(cfg);
+    Operands opsA = fillOperands(rtA);
+    runWorkload(rtA, opsA);
+
+    cfg.fault.seed = 2;
+    MealibRuntime rtB(cfg);
+    Operands opsB = fillOperands(rtB);
+    runWorkload(rtB, opsB);
+
+    // With a 50% per-attempt rate over dozens of attempts, identical
+    // histories under different seeds would mean the seed is ignored.
+    EXPECT_NE(rtA.faultModel().history().size() +
+                  rtA.accounting().retryCount,
+              rtB.faultModel().history().size() +
+                  rtB.accounting().retryCount);
+}
+
+// --- recovery paths ---------------------------------------------------
+
+TEST(FaultRecovery, FallbackNumericsMatchFaultFree)
+{
+    // Every command hangs and the budget is zero: everything completes
+    // through the host-fallback path. Results must be bit-identical to
+    // a fault-free run (the functional engine is shared).
+    MealibRuntime clean(baseConfig());
+    Operands opsClean = fillOperands(clean);
+    runWorkload(clean, opsClean);
+
+    RuntimeConfig cfg = baseConfig();
+    cfg.fault.seed = 11;
+    cfg.fault.hangRate = 1.0;
+    cfg.retry.maxRetries = 0;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+    std::vector<Event> events = runWorkload(rt, ops);
+
+    for (Event &ev : events) {
+        EXPECT_EQ(ev.state(), EventState::FellBack);
+        EXPECT_TRUE(ev.status().ok());
+        EXPECT_TRUE(ev.stats().fellBack);
+        EXPECT_TRUE(completed(ev.state()));
+    }
+    const RuntimeAccounting &acct = rt.accounting();
+    EXPECT_GT(acct.fallbackSeconds, 0.0);
+    EXPECT_EQ(acct.fallbackCount, events.size());
+    EXPECT_EQ(acct.watchdogFires, events.size());
+    for (unsigned s = 0; s < 2; ++s)
+        EXPECT_EQ(0, std::memcmp(opsClean.y[s], ops.y[s], kN * 4));
+}
+
+TEST(FaultRecovery, WatchdogFiresOncePerHungAttempt)
+{
+    RuntimeConfig cfg = baseConfig(1);
+    cfg.fault.seed = 3;
+    cfg.fault.hangRate = 1.0;
+    cfg.retry.maxRetries = 2;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+
+    AccPlanHandle h = planLoopedAxpy(rt, ops.x[0], ops.y[0]);
+    Event ev = rt.accSubmit(h);
+    EXPECT_EQ(ev.state(), EventState::FellBack);
+    EXPECT_EQ(ev.retries(), 2u);
+    EXPECT_EQ(rt.accounting().watchdogFires, 3u); // initial try + 2
+    EXPECT_EQ(rt.accounting().retryCount, 2u);
+    EXPECT_EQ(rt.accounting().fallbackCount, 1u);
+}
+
+TEST(FaultRecovery, ExhaustionWithoutFallbackTimesOut)
+{
+    RuntimeConfig cfg = baseConfig(1);
+    cfg.fault.seed = 3;
+    cfg.fault.hangRate = 1.0;
+    cfg.retry.maxRetries = 1;
+    cfg.retry.hostFallback = false;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+
+    Event ev = rt.accSubmit(planLoopedAxpy(rt, ops.x[0], ops.y[0]));
+    EXPECT_EQ(ev.state(), EventState::TimedOut);
+    EXPECT_FALSE(ev.status().ok());
+    EXPECT_EQ(ev.status().code(), ErrorCode::Timeout);
+    EXPECT_FALSE(completed(ev.state()));
+    EXPECT_EQ(rt.accounting().fallbackCount, 0u);
+    rt.waitAll();
+}
+
+TEST(FaultRecovery, TransientRetrySucceedsOnAccelerator)
+{
+    RuntimeConfig cfg = baseConfig();
+    cfg.fault.seed = 99;
+    cfg.fault.computeTransientRate = 0.5;
+    cfg.retry.maxRetries = 8; // enough to outlast a 50% coin
+    MealibRuntime clean(baseConfig());
+    Operands opsClean = fillOperands(clean);
+    runWorkload(clean, opsClean);
+
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+    std::vector<Event> events = runWorkload(rt, ops);
+
+    unsigned retried = 0;
+    for (Event &ev : events) {
+        EXPECT_TRUE(completed(ev.state()));
+        if (ev.state() == EventState::Retried) {
+            ++retried;
+            EXPECT_GT(ev.retries(), 0u);
+            EXPECT_GT(ev.stats().faultPenalty.seconds, 0.0);
+        }
+    }
+    EXPECT_GT(retried, 0u);
+    EXPECT_EQ(rt.accounting().fallbackCount, 0u);
+    EXPECT_GT(rt.accounting().retryCount, 0u);
+    for (unsigned s = 0; s < 2; ++s)
+        EXPECT_EQ(0, std::memcmp(opsClean.y[s], ops.y[s], kN * 4));
+}
+
+TEST(FaultRecovery, CorrectedEccIsLatencyOnly)
+{
+    RuntimeConfig cfg = baseConfig(1);
+    cfg.fault.seed = 5;
+    cfg.fault.eccCorrectableRate = 1.0;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+
+    Event ev = rt.accSubmit(planLoopedAxpy(rt, ops.x[0], ops.y[0]));
+    EXPECT_EQ(ev.state(), EventState::Done); // corrected != failed
+    EXPECT_EQ(ev.retries(), 0u);
+    EXPECT_EQ(rt.accounting().eccCorrected, 1u);
+    EXPECT_GT(ev.stats().faultPenalty.seconds, 0.0);
+    EXPECT_EQ(rt.accounting().retryCount, 0u);
+}
+
+// --- degradation-aware scheduling -------------------------------------
+
+TEST(Degradation, SchedulerSteersAwayFromFailedStack)
+{
+    MealibRuntime rt(baseConfig(4));
+    Operands ops = fillOperands(rt);
+    rt.failStack(2);
+    EXPECT_TRUE(rt.stackFailed(2));
+    EXPECT_EQ(rt.healthyStackCount(), 3u);
+
+    std::vector<Event> events = runWorkload(rt, ops, 4);
+    for (Event &ev : events)
+        EXPECT_NE(ev.stack(), 2u);
+    EXPECT_EQ(rt.queue(2).submitted(), 0u);
+}
+
+TEST(Degradation, ExplicitSubmitToFailedStackReroutes)
+{
+    MealibRuntime rt(baseConfig(2));
+    Operands ops = fillOperands(rt);
+    rt.failStack(0);
+
+    Event ev = rt.accSubmitOn(planLoopedAxpy(rt, ops.x[0], ops.y[0]), 0);
+    EXPECT_EQ(ev.stack(), 1u);
+    EXPECT_TRUE(completed(ev.state()));
+    EXPECT_EQ(rt.queue(0).submitted(), 0u);
+    rt.waitAll();
+}
+
+TEST(Degradation, ScriptedFailureFiresAtCommandBoundary)
+{
+    RuntimeConfig cfg = baseConfig(2);
+    cfg.fault.failStack = 0;
+    cfg.fault.failStackAfter = 2;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+
+    std::vector<Event> events;
+    for (unsigned i = 0; i < 6; ++i)
+        events.push_back(
+            rt.accSubmitOn(planLoopedAxpy(rt, ops.x[0], ops.y[0]), 0));
+    rt.waitAll();
+
+    EXPECT_TRUE(rt.stackFailed(0));
+    // Commands 0 and 1 land on stack 0; from command 2 on, the scripted
+    // failure has fired and everything reroutes (or is drained) to 1.
+    for (unsigned i = 2; i < 6; ++i)
+        EXPECT_EQ(events[i].stack(), 1u);
+    EXPECT_EQ(rt.queue(0).submitted(), 2u);
+}
+
+TEST(Degradation, FailStackDrainsQueuedCommandsToSurvivor)
+{
+    MealibRuntime rt(baseConfig(2));
+    Operands ops = fillOperands(rt);
+
+    // Build a deep backlog on stack 0, then kill it mid-flight.
+    std::vector<Event> events;
+    for (unsigned i = 0; i < 5; ++i)
+        events.push_back(
+            rt.accSubmitOn(planLoopedAxpy(rt, ops.x[0], ops.y[0]), 0));
+    double before = rt.nowSeconds();
+    rt.failStack(0);
+    rt.waitAll();
+
+    // The whole backlog was still outstanding (the host track only paid
+    // submit costs), so every command re-homed to the survivor.
+    EXPECT_GT(rt.accounting().retryCount, 0u);
+    for (Event &ev : events) {
+        EXPECT_EQ(ev.state(), EventState::Retried);
+        EXPECT_EQ(ev.stack(), 1u);
+        EXPECT_GT(ev.retries(), 0u);
+    }
+    // The dead stack's queue never runs past the failure point.
+    EXPECT_LE(rt.queue(0).busyUntilSeconds(), before);
+    EXPECT_GT(rt.queue(1).busySeconds(), 0.0);
+}
+
+TEST(Degradation, LastStackFailureFallsBackToHost)
+{
+    MealibRuntime rt(baseConfig(1));
+    Operands ops = fillOperands(rt);
+    rt.failStack(0);
+    EXPECT_EQ(rt.healthyStackCount(), 0u);
+
+    Event ev = rt.accSubmit(planLoopedAxpy(rt, ops.x[0], ops.y[0]));
+    EXPECT_EQ(ev.state(), EventState::FellBack);
+    EXPECT_TRUE(ev.stats().fellBack);
+    EXPECT_GT(rt.accounting().fallbackSeconds, 0.0);
+    EXPECT_EQ(rt.accounting().fallbackCount, 1u);
+}
+
+TEST(Degradation, LastStackFailureWithoutFallbackFails)
+{
+    RuntimeConfig cfg = baseConfig(1);
+    cfg.retry.hostFallback = false;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+    rt.failStack(0);
+
+    Event ev = rt.accSubmit(planLoopedAxpy(rt, ops.x[0], ops.y[0]));
+    EXPECT_EQ(ev.state(), EventState::Failed);
+    EXPECT_EQ(ev.status().code(), ErrorCode::DeviceFailed);
+}
+
+TEST(Degradation, DegradeStackStretchesTimelineOnly)
+{
+    MealibRuntime fast(baseConfig(1));
+    Operands opsFast = fillOperands(fast);
+    runWorkload(fast, opsFast);
+
+    MealibRuntime slow(baseConfig(1));
+    Operands opsSlow = fillOperands(slow);
+    slow.degradeStack(0, 4.0);
+    EXPECT_EQ(slow.stackSlowdown(0), 4.0);
+    runWorkload(slow, opsSlow);
+
+    // The serial cost ledger is identical; only occupancy stretched.
+    EXPECT_EQ(fast.accounting().accel.seconds,
+              slow.accounting().accel.seconds);
+    EXPECT_GT(slow.accounting().makespanSeconds,
+              fast.accounting().makespanSeconds);
+    EXPECT_GT(slow.accounting().busyByStack.get("stack0"),
+              fast.accounting().busyByStack.get("stack0"));
+}
+
+// --- recoverable submission errors ------------------------------------
+
+TEST(SubmitErrors, OutOfRangeStackReportsInsteadOfAborting)
+{
+    MealibRuntime rt(baseConfig(2));
+    Operands ops = fillOperands(rt);
+    AccPlanHandle h = planLoopedAxpy(rt, ops.x[0], ops.y[0]);
+
+    Event ev = rt.accSubmitOn(h, 99);
+    ASSERT_TRUE(ev.valid());
+    EXPECT_EQ(ev.state(), EventState::Failed);
+    EXPECT_EQ(ev.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_FALSE(completed(ev.state()));
+    // Nothing was charged and nothing was enqueued.
+    EXPECT_EQ(rt.accounting().total().seconds, 0.0);
+    EXPECT_EQ(rt.queue(0).submitted() + rt.queue(1).submitted(), 0u);
+    EXPECT_EQ(rt.inflightCount(), 0u);
+
+    // The plan is still usable on a valid stack afterwards.
+    Event ok = rt.accSubmitOn(h, 0);
+    EXPECT_TRUE(completed(ok.state()));
+    rt.waitAll();
+}
+
+TEST(SubmitErrors, StatusRoundTripsThroughOrThrow)
+{
+    Status s = Status::error(ErrorCode::Timeout, "watchdog fired");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.toString(), "timeout: watchdog fired");
+    try {
+        s.orThrow();
+        FAIL() << "orThrow did not throw";
+    } catch (const MealibError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Timeout);
+    }
+    EXPECT_EQ(Status().toString(), "ok");
+}
+
+} // namespace
+} // namespace mealib::runtime

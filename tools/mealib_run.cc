@@ -6,7 +6,9 @@
  *   mealib-run <program.tdl> [--params=<dir>] [--bind k=v ...]
  *              [--cost-only] [--arena-mib=N] [--verbose]
  *              [--stacks=N] [--queue-depth=N] [--scheduler=P]
- *              [--repeat=N]
+ *              [--repeat=N] [--fault-seed=S] [--fault-rate=R]
+ *              [--fail-stack=S[@N]] [--watchdog-us=T]
+ *              [--max-retries=K]
  *
  * Parameter files referenced by COMP blocks are loaded from --params
  * (default: the TDL file's directory). `$symbol` placeholders are
@@ -22,6 +24,15 @@
  * the compiled program N times through accSubmit() before waiting, and
  * the summary reports the overlap-aware makespan next to the serial
  * total.
+ *
+ * Fault injection (docs/FAULTS.md): --fault-rate=R arms every transient
+ * source (corrected/uncorrectable ECC, link CRC, command hang, compute
+ * fault) at a per-attempt probability R, rolled deterministically from
+ * --fault-seed. --fail-stack=S kills stack S before the first command
+ * (S@N: before global command N). --watchdog-us bounds a hung command;
+ * --max-retries bounds the retry ladder before host fallback. The
+ * summary then adds a degraded-mode line (retries, fallbacks, watchdog
+ * fires, corrected ECC events).
  */
 
 #include <cstdio>
@@ -118,6 +129,30 @@ main(int argc, char **argv)
             static_cast<unsigned>(cli.getInt("queue-depth", 8));
         cfg.scheduler =
             runtime::schedulerPolicy(cli.get("scheduler", "locality"));
+
+        // --- fault injection (docs/FAULTS.md) --------------------------
+        cfg.fault.seed = static_cast<std::uint64_t>(
+            cli.getInt("fault-seed", 0));
+        const double rate = cli.getDouble("fault-rate", 0.0);
+        cfg.fault.eccCorrectableRate = rate;
+        cfg.fault.eccUncorrectableRate = rate;
+        cfg.fault.linkCrcRate = rate;
+        cfg.fault.hangRate = rate;
+        cfg.fault.computeTransientRate = rate;
+        const std::string fail_spec = cli.get("fail-stack", "");
+        if (!fail_spec.empty()) {
+            auto at = fail_spec.find('@');
+            cfg.fault.failStack = static_cast<unsigned>(
+                std::strtoul(fail_spec.c_str(), nullptr, 0));
+            if (at != std::string::npos)
+                cfg.fault.failStackAfter = std::strtoull(
+                    fail_spec.c_str() + at + 1, nullptr, 0);
+        }
+        cfg.watchdogSeconds =
+            cli.getDouble("watchdog-us", cfg.watchdogSeconds * 1e6) *
+            1e-6;
+        cfg.retry.maxRetries = static_cast<unsigned>(cli.getInt(
+            "max-retries", cfg.retry.maxRetries));
         runtime::MealibRuntime rt(cfg);
 
         const std::uint64_t repeat = static_cast<std::uint64_t>(
@@ -172,6 +207,24 @@ main(int argc, char **argv)
                     acct.makespanSeconds * 1e3,
                     acct.total().seconds * 1e3,
                     acct.overlapSavedSeconds() * 1e3);
+        if (cfg.fault.enabled()) {
+            std::printf("faults: seed %llu, %zu injected (retries %llu, "
+                        "fallbacks %llu, watchdog %llu, ecc-corrected "
+                        "%llu)\n",
+                        static_cast<unsigned long long>(cfg.fault.seed),
+                        rt.faultModel().history().size(),
+                        static_cast<unsigned long long>(acct.retryCount),
+                        static_cast<unsigned long long>(
+                            acct.fallbackCount),
+                        static_cast<unsigned long long>(
+                            acct.watchdogFires),
+                        static_cast<unsigned long long>(
+                            acct.eccCorrected));
+            std::printf("degraded: %u/%u stacks healthy, fallback "
+                        "%.6f ms on the host\n",
+                        rt.healthyStackCount(), rt.numStacks(),
+                        acct.fallbackSeconds * 1e3);
+        }
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
