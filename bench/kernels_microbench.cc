@@ -1,20 +1,32 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the MiniMKL functional kernels.
- * Not a paper figure — standard library-release hygiene so downstream
- * users can track kernel regressions.
+ * Microbenchmarks of the MiniMKL functional kernels: optimized variants
+ * against their naive oracles across sizes and thread counts, with
+ * warmup + min-of-N timing (see bench_util.hh) so the numbers are
+ * stable enough to gate on.
+ *
+ * Not a paper figure — library-release hygiene. `--json <path>` writes
+ * BENCH_kernels.json-style output (per-kernel GB/s and speedups) that
+ * CI uploads as the perf trajectory artifact; later PRs regress against
+ * it. `--quick` shrinks sizes for a smoke run.
  */
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
-#include <benchmark/benchmark.h>
-
+#include "bench_util.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "minimkl/blas1.hh"
 #include "minimkl/blas2.hh"
 #include "minimkl/blas3.hh"
+#include "minimkl/compat.hh"
 #include "minimkl/fft.hh"
-#include "minimkl/resample.hh"
+#include "minimkl/naive.hh"
 #include "minimkl/sparse.hh"
 #include "minimkl/transpose.hh"
 
@@ -42,148 +54,351 @@ randomCVec(std::int64_t n, std::uint64_t seed = 2)
     return v;
 }
 
-void
-BM_Saxpy(benchmark::State &state)
+struct Options
 {
-    const std::int64_t n = state.range(0);
+    std::string jsonPath;
+    bool quick = false;
+    std::vector<int> threads;
+    bench::TimingConfig timing;
+};
+
+/** Thread counts to sweep: 1, 2, and the hardware width (deduped). */
+std::vector<int>
+defaultThreadSweep()
+{
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw < 1)
+        hw = 1;
+    std::vector<int> t{1, 2, 4, hw};
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    return t;
+}
+
+/** One benchmark entry: optimized kernel vs its naive oracle. */
+struct Report
+{
+    bench::Table &table;
+    bench::JsonWriter &json;
+    const Options &opt;
+
+    void
+    row(const std::string &kernel, long long n, int threads,
+        const bench::TimingResult &t, double bytesPerCall,
+        double naiveSeconds, double oneThreadSeconds)
+    {
+        double gbps = bytesPerCall / t.secondsPerCall * 1e-9;
+        double vsNaive =
+            naiveSeconds > 0.0 ? naiveSeconds / t.secondsPerCall : 0.0;
+        double vs1t = oneThreadSeconds > 0.0
+                          ? oneThreadSeconds / t.secondsPerCall
+                          : 0.0;
+        table.row({kernel, std::to_string(n), std::to_string(threads),
+                   bench::fmt("%.3f", t.secondsPerCall * 1e3),
+                   bench::fmt("%.2f", gbps),
+                   naiveSeconds > 0.0 ? bench::fmt("%.2f", vsNaive) : "-",
+                   oneThreadSeconds > 0.0 ? bench::fmt("%.2f", vs1t)
+                                          : "-"});
+        json.beginRecord();
+        json.field("kernel", kernel);
+        json.field("n", n);
+        json.field("threads", static_cast<long long>(threads));
+        json.field("seconds", t.secondsPerCall);
+        json.field("iters_per_rep", static_cast<long long>(t.itersPerRep));
+        json.field("repetitions",
+                   static_cast<long long>(t.repetitions));
+        json.field("gb_per_s", gbps);
+        if (naiveSeconds > 0.0)
+            json.field("speedup_vs_naive", vsNaive);
+        if (oneThreadSeconds > 0.0)
+            json.field("speedup_vs_1thread", vs1t);
+        json.endRecord();
+    }
+};
+
+/**
+ * Sweep an optimized kernel over the thread counts against one naive
+ * baseline measurement; ratios vs the naive time and vs the kernel's own
+ * 1-thread time are recorded. @p optimized must be re-runnable.
+ */
+template <typename OptFn, typename NaiveFn>
+void
+sweep(Report &rep, const std::string &kernel, long long n,
+      double bytesPerCall, OptFn &&optimized, NaiveFn &&naive)
+{
+    double naiveSec = 0.0;
+    {
+        kernelTuning().numThreads = 1;
+        bench::TimingResult t = bench::timeKernel(naive, rep.opt.timing);
+        naiveSec = t.secondsPerCall;
+        rep.row(kernel + "_naive", n, 1, t, bytesPerCall, 0.0, 0.0);
+    }
+    double oneThreadSec = 0.0;
+    for (int threads : rep.opt.threads) {
+        kernelTuning().numThreads = threads;
+        bench::TimingResult t =
+            bench::timeKernel(optimized, rep.opt.timing);
+        if (threads == 1)
+            oneThreadSec = t.secondsPerCall;
+        rep.row(kernel, n, threads, t, bytesPerCall, naiveSec,
+                threads == 1 ? 0.0 : oneThreadSec);
+    }
+    kernelTuning().numThreads = 1;
+}
+
+void
+benchSaxpy(Report &rep, std::int64_t n)
+{
     auto x = randomVec(n);
     auto y = randomVec(n, 3);
-    for (auto _ : state) {
-        mkl::saxpy(n, 1.0001f, x.data(), 1, y.data(), 1);
-        benchmark::DoNotOptimize(y.data());
-    }
-    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            n * 12);
+    sweep(
+        rep, "saxpy", n, static_cast<double>(n) * 12,
+        [&] { mkl::saxpy(n, 1.0001f, x.data(), 1, y.data(), 1); },
+        [&] { mkl::naive::saxpy(n, 1.0001f, x.data(), y.data()); });
 }
-BENCHMARK(BM_Saxpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 void
-BM_Sdot(benchmark::State &state)
+benchSdot(Report &rep, std::int64_t n)
 {
-    const std::int64_t n = state.range(0);
     auto x = randomVec(n);
     auto y = randomVec(n, 5);
-    for (auto _ : state) {
-        float d = mkl::sdot(n, x.data(), 1, y.data(), 1);
-        benchmark::DoNotOptimize(d);
-    }
-    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            n * 8);
+    volatile float sink = 0.0f;
+    sweep(
+        rep, "sdot", n, static_cast<double>(n) * 8,
+        [&] { sink = mkl::sdot(n, x.data(), 1, y.data(), 1); },
+        [&] { sink = mkl::naive::sdot(n, x.data(), y.data()); });
+    (void)sink;
 }
-BENCHMARK(BM_Sdot)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 void
-BM_Sgemv(benchmark::State &state)
+benchSgemv(Report &rep, std::int64_t d)
 {
-    const std::int64_t d = state.range(0);
     auto a = randomVec(d * d);
     auto x = randomVec(d, 7);
     std::vector<float> y(static_cast<std::size_t>(d));
-    for (auto _ : state) {
-        mkl::sgemv(mkl::Order::RowMajor, mkl::Transpose::NoTrans, d, d,
-                   1.0f, a.data(), d, x.data(), 1, 0.0f, y.data(), 1);
-        benchmark::DoNotOptimize(y.data());
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            d * d * 2);
+    sweep(
+        rep, "sgemv", d, static_cast<double>(d) * d * 4,
+        [&] {
+            mkl::sgemv(mkl::Order::RowMajor, mkl::Transpose::NoTrans, d,
+                       d, 1.0f, a.data(), d, x.data(), 1, 0.0f, y.data(),
+                       1);
+        },
+        [&] {
+            mkl::naive::sgemv(d, d, a.data(), d, x.data(), y.data());
+        });
 }
-BENCHMARK(BM_Sgemv)->Arg(256)->Arg(1024);
 
 void
-BM_Spmv(benchmark::State &state)
+benchCsrgemv(Report &rep, std::int64_t nodes)
 {
     Rng rng(11);
-    mkl::CsrMatrix m = mkl::randomGeometricGraph(state.range(0), 13.0,
-                                                 rng);
+    mkl::CsrMatrix m = mkl::randomGeometricGraph(nodes, 13.0, rng);
     auto x = randomVec(m.cols, 13);
     std::vector<float> y(static_cast<std::size_t>(m.rows));
-    for (auto _ : state) {
-        mkl::scsrmv(m, x.data(), y.data());
-        benchmark::DoNotOptimize(y.data());
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            m.nnz() * 2);
+
+    // Classic 1-based MKL arrays, as legacy callers hand them over.
+    const int rows = static_cast<int>(m.rows);
+    std::vector<int> ia(m.rowPtr.size());
+    for (std::size_t i = 0; i < m.rowPtr.size(); ++i)
+        ia[i] = static_cast<int>(m.rowPtr[i]) + 1;
+    std::vector<int> ja(m.colIdx.size());
+    for (std::size_t i = 0; i < m.colIdx.size(); ++i)
+        ja[i] = m.colIdx[i] + 1;
+
+    // ~12 bytes per nonzero (value + index + gathered x) + y writes.
+    double bytes = static_cast<double>(m.nnz()) * 12 +
+                   static_cast<double>(m.rows) * 4;
+    sweep(
+        rep, "csrgemv", m.nnz(), bytes,
+        [&] {
+            mkl_scsrgemv("N", &rows, m.vals.data(), ia.data(), ja.data(),
+                         x.data(), y.data());
+        },
+        [&] { mkl::naive::spmv(m, x.data(), y.data()); });
 }
-BENCHMARK(BM_Spmv)->Arg(1 << 12)->Arg(1 << 16);
 
 void
-BM_Fft(benchmark::State &state)
+benchSimatcopy(Report &rep, std::int64_t d)
 {
-    const std::int64_t n = state.range(0);
-    auto in = randomCVec(n);
-    std::vector<mkl::cfloat> out(in.size());
-    auto plan = mkl::FftPlan::dft1d(n, mkl::FftDirection::Forward);
-    for (auto _ : state) {
-        plan.execute(in.data(), out.data());
-        benchmark::DoNotOptimize(out.data());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(plan.flopEstimate()));
-}
-BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
-
-void
-BM_Fft2d(benchmark::State &state)
-{
-    const std::int64_t d = state.range(0);
-    auto in = randomCVec(d * d);
-    std::vector<mkl::cfloat> out(in.size());
-    auto plan = mkl::FftPlan::dft2d(d, d, mkl::FftDirection::Forward);
-    for (auto _ : state) {
-        plan.execute(in.data(), out.data());
-        benchmark::DoNotOptimize(out.data());
-    }
-}
-BENCHMARK(BM_Fft2d)->Arg(128)->Arg(512);
-
-void
-BM_Transpose(benchmark::State &state)
-{
-    const std::int64_t d = state.range(0);
     auto a = randomVec(d * d);
     std::vector<float> b(a.size());
-    for (auto _ : state) {
-        mkl::somatcopy(mkl::Order::RowMajor, mkl::Transpose::Trans, d, d,
-                       1.0f, a.data(), d, b.data(), d);
-        benchmark::DoNotOptimize(b.data());
-    }
-    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            d * d * 8);
+    sweep(
+        rep, "simatcopy", d, static_cast<double>(d) * d * 8,
+        [&] {
+            // Square in-place transpose: repeated calls alternate
+            // between the two layouts, which is fine for timing.
+            mkl_simatcopy('R', 'T', static_cast<std::size_t>(d),
+                          static_cast<std::size_t>(d), 1.0f, a.data(),
+                          static_cast<std::size_t>(d),
+                          static_cast<std::size_t>(d));
+        },
+        [&] { mkl::naive::transpose(d, d, a.data(), b.data()); });
 }
-BENCHMARK(BM_Transpose)->Arg(512)->Arg(2048);
 
 void
-BM_Resample(benchmark::State &state)
+benchFftBatched(Report &rep, std::int64_t n, std::int64_t batch)
 {
-    const std::int64_t n = state.range(0);
-    auto in = randomVec(n);
-    std::vector<float> out(static_cast<std::size_t>(2 * n));
-    for (auto _ : state) {
-        mkl::resample1d(in.data(), n, out.data(), 2 * n,
-                        mkl::InterpKind::Sinc8);
-        benchmark::DoNotOptimize(out.data());
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            2 * n);
+    auto in = randomCVec(n * batch);
+    std::vector<mkl::cfloat> out(in.size());
+    auto plan =
+        mkl::FftPlan::dft1dBatched(n, batch, n, mkl::FftDirection::Forward);
+    sweep(
+        rep, "fft_batched", n * batch,
+        static_cast<double>(n) * batch * 16,
+        [&] { plan.execute(in.data(), out.data()); },
+        [&] {
+            for (std::int64_t b = 0; b < batch; ++b)
+                mkl::naive::fftRecursive(in.data() + b * n,
+                                         out.data() + b * n, n, -1);
+        });
 }
-BENCHMARK(BM_Resample)->Arg(1 << 12)->Arg(1 << 16);
 
 void
-BM_Cherk(benchmark::State &state)
+benchCherk(Report &rep, std::int64_t n, std::int64_t k)
 {
-    const std::int64_t n = 48, k = state.range(0);
     auto a = randomCVec(n * k);
     std::vector<mkl::cfloat> c(static_cast<std::size_t>(n * n));
-    for (auto _ : state) {
-        mkl::cherk(mkl::Order::RowMajor, mkl::Uplo::Lower,
-                   mkl::Transpose::NoTrans, n, k, 1.0f, a.data(), k,
-                   0.0f, c.data(), n);
-        benchmark::DoNotOptimize(c.data());
-    }
+    // No naive cherk oracle exists; report thread scaling only.
+    sweep(
+        rep, "cherk", n, static_cast<double>(n) * n * k * 4,
+        [&] {
+            mkl::cherk(mkl::Order::RowMajor, mkl::Uplo::Lower,
+                       mkl::Transpose::NoTrans, n, k, 1.0f, a.data(), k,
+                       0.0f, c.data(), n);
+        },
+        [&] {
+            mkl::cherk(mkl::Order::RowMajor, mkl::Uplo::Lower,
+                       mkl::Transpose::NoTrans, n, k, 1.0f, a.data(), k,
+                       0.0f, c.data(), n);
+        });
 }
-BENCHMARK(BM_Cherk)->Arg(64)->Arg(512);
+
+/**
+ * Bit-reproducibility probe: the deterministic reductions must return
+ * identical bits for every thread count and across repeated runs.
+ * @return true when every sweep agrees.
+ */
+bool
+checkDeterminism(const Options &opt, bench::JsonWriter &json)
+{
+    const std::int64_t n = opt.quick ? (1 << 14) : (1 << 20);
+    auto x = randomVec(n, 21);
+    auto y = randomVec(n, 22);
+
+    bool ok = true;
+    kernelTuning().numThreads = 1;
+    const float dotRef = mkl::sdot(n, x.data(), 1, y.data(), 1);
+    const float nrmRef = mkl::snrm2(n, x.data(), 1);
+    const float asumRef = mkl::sasum(n, x.data(), 1);
+    for (int threads : {1, 2, 8}) {
+        kernelTuning().numThreads = threads;
+        for (int rep = 0; rep < 3; ++rep) {
+            float d = mkl::sdot(n, x.data(), 1, y.data(), 1);
+            float r = mkl::snrm2(n, x.data(), 1);
+            float s = mkl::sasum(n, x.data(), 1);
+            ok = ok &&
+                 std::memcmp(&d, &dotRef, sizeof(float)) == 0 &&
+                 std::memcmp(&r, &nrmRef, sizeof(float)) == 0 &&
+                 std::memcmp(&s, &asumRef, sizeof(float)) == 0;
+        }
+    }
+    kernelTuning().numThreads = 1;
+    json.meta("reductions_bit_identical", ok);
+    return ok;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    opt.threads = defaultThreadSweep();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            opt.jsonPath = argv[++i];
+        } else if (arg == "--quick") {
+            opt.quick = true;
+            opt.timing.targetSeconds = 0.01;
+            opt.timing.repetitions = 3;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            opt.threads.clear();
+            std::string list = argv[++i];
+            std::size_t pos = 0;
+            while (pos < list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                opt.threads.push_back(
+                    std::stoi(list.substr(pos, comma - pos)));
+                pos = comma + 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: kernels_microbench [--json <path>] "
+                         "[--quick] [--threads 1,2,4]\n");
+            std::exit(2);
+        }
+    }
+    return opt;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    bench::banner("kernels_microbench",
+                  "library kernels must beat handwritten loops "
+                  "(Figure 1) — optimized vs naive, by thread count");
+
+    bench::Table table({"kernel", "n", "threads", "ms/call", "GB/s",
+                        "vs_naive", "vs_1t"});
+    bench::JsonWriter json;
+    json.meta("bench", "kernels_microbench");
+    json.meta("hardware_threads",
+              static_cast<double>(std::thread::hardware_concurrency()));
+    json.meta("quick", opt.quick);
+
+    Report rep{table, json, opt};
+
+    if (opt.quick) {
+        benchSaxpy(rep, 1 << 14);
+        benchSdot(rep, 1 << 14);
+        benchSgemv(rep, 128);
+        benchCsrgemv(rep, 1 << 12);
+        benchSimatcopy(rep, 128);
+        benchFftBatched(rep, 256, 16);
+        benchCherk(rep, 48, 64);
+    } else {
+        benchSaxpy(rep, 1 << 16);
+        benchSaxpy(rep, 1 << 20);
+        benchSdot(rep, 1 << 16);
+        benchSdot(rep, 1 << 20);
+        benchSgemv(rep, 512);
+        benchSgemv(rep, 2048);
+        benchCsrgemv(rep, 1 << 14);
+        benchCsrgemv(rep, 1 << 17);
+        benchSimatcopy(rep, 512);
+        benchSimatcopy(rep, 2048);
+        benchFftBatched(rep, 1024, 256);
+        benchCherk(rep, 256, 256);
+    }
+
+    bool deterministic = checkDeterminism(opt, json);
+
+    table.print();
+    std::printf("parallel reductions bit-identical across threads: %s\n",
+                deterministic ? "yes" : "NO");
+
+    if (!opt.jsonPath.empty()) {
+        if (!json.writeFile(opt.jsonPath)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         opt.jsonPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    return deterministic ? 0 : 1;
+}

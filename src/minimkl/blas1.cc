@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mealib::mkl {
 
@@ -16,6 +17,33 @@ startIndex(std::int64_t n, std::int64_t inc)
     return inc >= 0 ? 0 : (1 - n) * inc;
 }
 
+/**
+ * Partial state of an slassq-style scaled sum of squares. Combining two
+ * partials rescales the smaller-scaled one, which is exactly the LAPACK
+ * slassq update applied chunk-wise; the fixed-order tree in
+ * deterministicReduce makes the result independent of thread count.
+ */
+struct Slassq
+{
+    double scale = 0.0;
+    double ssq = 1.0;
+};
+
+inline Slassq
+slassqCombine(const Slassq &a, const Slassq &b)
+{
+    if (b.scale == 0.0)
+        return a;
+    if (a.scale == 0.0)
+        return b;
+    if (a.scale >= b.scale) {
+        double r = b.scale / a.scale;
+        return {a.scale, a.ssq + b.ssq * r * r};
+    }
+    double r = a.scale / b.scale;
+    return {b.scale, b.ssq + a.ssq * r * r};
+}
+
 } // namespace
 
 void
@@ -26,8 +54,12 @@ saxpy(std::int64_t n, float a, const float *x, std::int64_t incx, float *y,
         return;
     fatalIf(incx == 0 || incy == 0, "saxpy: zero stride");
     if (incx == 1 && incy == 1) {
-        for (std::int64_t i = 0; i < n; ++i)
-            y[i] += a * x[i];
+        const KernelTuning &t = kernelTuning();
+        parallelFor(0, n, t.threadsFor(n), 4096,
+                    [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i)
+                            y[i] += a * x[i];
+                    });
         return;
     }
     std::int64_t ix = startIndex(n, incx);
@@ -42,9 +74,25 @@ saxpby(std::int64_t n, float a, const float *x, std::int64_t incx,
 {
     if (n <= 0)
         return;
-    fatalIf(incx == 0 || incy == 0, "saxpby: zero stride");
+    fatalIf(incy == 0, "saxpby: zero stride");
+    if (a == 0.0f) {
+        // x is unused (and may be null, as MKL tolerates): y := b*y.
+        if (b != 1.0f)
+            sscal(n, b, y, incy);
+        return;
+    }
+    fatalIf(incx == 0, "saxpby: zero stride");
     if (b == 1.0f) {
         saxpy(n, a, x, incx, y, incy);
+        return;
+    }
+    if (incx == 1 && incy == 1) {
+        const KernelTuning &t = kernelTuning();
+        parallelFor(0, n, t.threadsFor(n), 4096,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t i = lo; i < hi; ++i)
+                            y[i] = a * x[i] + b * y[i];
+                    });
         return;
     }
     std::int64_t ix = startIndex(n, incx);
@@ -59,6 +107,15 @@ sscal(std::int64_t n, float a, float *x, std::int64_t incx)
     if (n <= 0)
         return;
     fatalIf(incx == 0, "sscal: zero stride");
+    if (incx == 1) {
+        const KernelTuning &t = kernelTuning();
+        parallelFor(0, n, t.threadsFor(n), 4096,
+                    [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i)
+                            x[i] *= a;
+                    });
+        return;
+    }
     std::int64_t ix = startIndex(n, incx);
     for (std::int64_t i = 0; i < n; ++i, ix += incx)
         x[ix] *= a;
@@ -71,6 +128,15 @@ scopy(std::int64_t n, const float *x, std::int64_t incx, float *y,
     if (n <= 0)
         return;
     fatalIf(incx == 0 || incy == 0, "scopy: zero stride");
+    if (incx == 1 && incy == 1) {
+        const KernelTuning &t = kernelTuning();
+        parallelFor(0, n, t.threadsFor(n), 4096,
+                    [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i)
+                            y[i] = x[i];
+                    });
+        return;
+    }
     std::int64_t ix = startIndex(n, incx);
     std::int64_t iy = startIndex(n, incy);
     for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy)
@@ -86,12 +152,24 @@ sdot(std::int64_t n, const float *x, std::int64_t incx, const float *y,
     fatalIf(incx == 0 || incy == 0, "sdot: zero stride");
     // Accumulate in double: cheap insurance against cancellation on the
     // 256M-element vectors of Table 2.
-    double acc = 0.0;
     if (incx == 1 && incy == 1) {
-        for (std::int64_t i = 0; i < n; ++i)
-            acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+        // Fixed-chunk deterministic reduction: the chunk boundaries and
+        // the combine tree depend only on n, so the result is
+        // bit-identical for any thread count.
+        const KernelTuning &t = kernelTuning();
+        double acc = deterministicReduce<double>(
+            n, t.reduceChunk, t.threadsFor(n),
+            [&](std::int64_t b, std::int64_t e) {
+                double s = 0.0;
+                for (std::int64_t i = b; i < e; ++i)
+                    s += static_cast<double>(x[i]) *
+                         static_cast<double>(y[i]);
+                return s;
+            },
+            [](double a, double b) { return a + b; });
         return static_cast<float>(acc);
     }
+    double acc = 0.0;
     std::int64_t ix = startIndex(n, incx);
     std::int64_t iy = startIndex(n, incy);
     for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy)
@@ -106,21 +184,41 @@ snrm2(std::int64_t n, const float *x, std::int64_t incx)
         return 0.0f;
     fatalIf(incx == 0, "snrm2: zero stride");
     // Scaled sum of squares (LAPACK slassq style) to avoid overflow.
-    double scale = 0.0;
-    double ssq = 1.0;
+    auto chunkSsq = [&](std::int64_t b, std::int64_t e) {
+        Slassq s;
+        for (std::int64_t i = b; i < e; ++i) {
+            double ax = std::fabs(static_cast<double>(x[i]));
+            if (ax == 0.0)
+                continue;
+            if (s.scale < ax) {
+                s.ssq = 1.0 + s.ssq * (s.scale / ax) * (s.scale / ax);
+                s.scale = ax;
+            } else {
+                s.ssq += (ax / s.scale) * (ax / s.scale);
+            }
+        }
+        return s;
+    };
+    if (incx == 1) {
+        const KernelTuning &t = kernelTuning();
+        Slassq s = deterministicReduce<Slassq>(
+            n, t.reduceChunk, t.threadsFor(n), chunkSsq, slassqCombine);
+        return static_cast<float>(s.scale * std::sqrt(s.ssq));
+    }
+    Slassq s;
     std::int64_t ix = startIndex(n, incx);
     for (std::int64_t i = 0; i < n; ++i, ix += incx) {
         double ax = std::fabs(static_cast<double>(x[ix]));
         if (ax == 0.0)
             continue;
-        if (scale < ax) {
-            ssq = 1.0 + ssq * (scale / ax) * (scale / ax);
-            scale = ax;
+        if (s.scale < ax) {
+            s.ssq = 1.0 + s.ssq * (s.scale / ax) * (s.scale / ax);
+            s.scale = ax;
         } else {
-            ssq += (ax / scale) * (ax / scale);
+            s.ssq += (ax / s.scale) * (ax / s.scale);
         }
     }
-    return static_cast<float>(scale * std::sqrt(ssq));
+    return static_cast<float>(s.scale * std::sqrt(s.ssq));
 }
 
 float
@@ -129,6 +227,19 @@ sasum(std::int64_t n, const float *x, std::int64_t incx)
     if (n <= 0)
         return 0.0f;
     fatalIf(incx == 0, "sasum: zero stride");
+    if (incx == 1) {
+        const KernelTuning &t = kernelTuning();
+        double acc = deterministicReduce<double>(
+            n, t.reduceChunk, t.threadsFor(n),
+            [&](std::int64_t b, std::int64_t e) {
+                double s = 0.0;
+                for (std::int64_t i = b; i < e; ++i)
+                    s += std::fabs(static_cast<double>(x[i]));
+                return s;
+            },
+            [](double a, double b) { return a + b; });
+        return static_cast<float>(acc);
+    }
     double acc = 0.0;
     std::int64_t ix = startIndex(n, incx);
     for (std::int64_t i = 0; i < n; ++i, ix += incx)
@@ -142,17 +253,30 @@ isamax(std::int64_t n, const float *x, std::int64_t incx)
     if (n <= 0)
         return -1;
     fatalIf(incx == 0, "isamax: zero stride");
-    std::int64_t best = 0;
-    float best_v = std::fabs(x[startIndex(n, incx)]);
-    std::int64_t ix = startIndex(n, incx);
-    for (std::int64_t i = 0; i < n; ++i, ix += incx) {
-        float v = std::fabs(x[ix]);
-        if (v > best_v) {
-            best_v = v;
-            best = i;
+    struct Best
+    {
+        float v;
+        std::int64_t i;
+    };
+    const std::int64_t base = startIndex(n, incx);
+    auto chunkBest = [&](std::int64_t b, std::int64_t e) {
+        Best best{std::fabs(x[base + b * incx]), b};
+        for (std::int64_t i = b + 1; i < e; ++i) {
+            float v = std::fabs(x[base + i * incx]);
+            if (v > best.v) {
+                best.v = v;
+                best.i = i;
+            }
         }
-    }
-    return best;
+        return best;
+    };
+    // Combine keeps the left (lower-index) chunk on ties, matching the
+    // sequential "first strictly greater wins" semantics exactly.
+    const KernelTuning &t = kernelTuning();
+    Best best = deterministicReduce<Best>(
+        n, t.reduceChunk, incx == 1 ? t.threadsFor(n) : 1, chunkBest,
+        [](const Best &a, const Best &b) { return b.v > a.v ? b : a; });
+    return best.i;
 }
 
 void
@@ -162,11 +286,37 @@ caxpy(std::int64_t n, cfloat a, const cfloat *x, std::int64_t incx,
     if (n <= 0 || a == cfloat{})
         return;
     fatalIf(incx == 0 || incy == 0, "caxpy: zero stride");
+    if (incx == 1 && incy == 1) {
+        const KernelTuning &t = kernelTuning();
+        parallelFor(0, n, t.threadsFor(2 * n), 4096,
+                    [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i)
+                            y[i] += a * x[i];
+                    });
+        return;
+    }
     std::int64_t ix = startIndex(n, incx);
     std::int64_t iy = startIndex(n, incy);
     for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy)
         y[iy] += a * x[ix];
 }
+
+namespace {
+
+/** Complex accumulator for the deterministic cdot reductions. */
+struct CAcc
+{
+    double re = 0.0;
+    double im = 0.0;
+};
+
+inline CAcc
+caccAdd(const CAcc &a, const CAcc &b)
+{
+    return {a.re + b.re, a.im + b.im};
+}
+
+} // namespace
 
 cfloat
 cdotc(std::int64_t n, const cfloat *x, std::int64_t incx, const cfloat *y,
@@ -175,19 +325,26 @@ cdotc(std::int64_t n, const cfloat *x, std::int64_t incx, const cfloat *y,
     if (n <= 0)
         return {};
     fatalIf(incx == 0 || incy == 0, "cdotc: zero stride");
-    double re = 0.0, im = 0.0;
-    std::int64_t ix = startIndex(n, incx);
-    std::int64_t iy = startIndex(n, incy);
-    for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy) {
-        const cfloat &a = x[ix];
-        const cfloat &b = y[iy];
-        // conj(a) * b, accumulated in double
-        re += static_cast<double>(a.real()) * b.real() +
-              static_cast<double>(a.imag()) * b.imag();
-        im += static_cast<double>(a.real()) * b.imag() -
-              static_cast<double>(a.imag()) * b.real();
-    }
-    return {static_cast<float>(re), static_cast<float>(im)};
+    const std::int64_t bx = startIndex(n, incx);
+    const std::int64_t by = startIndex(n, incy);
+    auto chunk = [&](std::int64_t b, std::int64_t e) {
+        CAcc s;
+        for (std::int64_t i = b; i < e; ++i) {
+            const cfloat &a = x[bx + i * incx];
+            const cfloat &c = y[by + i * incy];
+            // conj(a) * c, accumulated in double
+            s.re += static_cast<double>(a.real()) * c.real() +
+                    static_cast<double>(a.imag()) * c.imag();
+            s.im += static_cast<double>(a.real()) * c.imag() -
+                    static_cast<double>(a.imag()) * c.real();
+        }
+        return s;
+    };
+    const KernelTuning &t = kernelTuning();
+    int threads = incx == 1 && incy == 1 ? t.threadsFor(2 * n) : 1;
+    CAcc s = deterministicReduce<CAcc>(n, t.reduceChunk, threads, chunk,
+                                       caccAdd);
+    return {static_cast<float>(s.re), static_cast<float>(s.im)};
 }
 
 cfloat
@@ -197,18 +354,25 @@ cdotu(std::int64_t n, const cfloat *x, std::int64_t incx, const cfloat *y,
     if (n <= 0)
         return {};
     fatalIf(incx == 0 || incy == 0, "cdotu: zero stride");
-    double re = 0.0, im = 0.0;
-    std::int64_t ix = startIndex(n, incx);
-    std::int64_t iy = startIndex(n, incy);
-    for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy) {
-        const cfloat &a = x[ix];
-        const cfloat &b = y[iy];
-        re += static_cast<double>(a.real()) * b.real() -
-              static_cast<double>(a.imag()) * b.imag();
-        im += static_cast<double>(a.real()) * b.imag() +
-              static_cast<double>(a.imag()) * b.real();
-    }
-    return {static_cast<float>(re), static_cast<float>(im)};
+    const std::int64_t bx = startIndex(n, incx);
+    const std::int64_t by = startIndex(n, incy);
+    auto chunk = [&](std::int64_t b, std::int64_t e) {
+        CAcc s;
+        for (std::int64_t i = b; i < e; ++i) {
+            const cfloat &a = x[bx + i * incx];
+            const cfloat &c = y[by + i * incy];
+            s.re += static_cast<double>(a.real()) * c.real() -
+                    static_cast<double>(a.imag()) * c.imag();
+            s.im += static_cast<double>(a.real()) * c.imag() +
+                    static_cast<double>(a.imag()) * c.real();
+        }
+        return s;
+    };
+    const KernelTuning &t = kernelTuning();
+    int threads = incx == 1 && incy == 1 ? t.threadsFor(2 * n) : 1;
+    CAcc s = deterministicReduce<CAcc>(n, t.reduceChunk, threads, chunk,
+                                       caccAdd);
+    return {static_cast<float>(s.re), static_cast<float>(s.im)};
 }
 
 } // namespace mealib::mkl

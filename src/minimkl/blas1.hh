@@ -21,7 +21,11 @@ namespace mealib::mkl {
 void saxpy(std::int64_t n, float a, const float *x, std::int64_t incx,
            float *y, std::int64_t incy);
 
-/** y := a*x + b*y (single precision; MKL's cblas_saxpby). */
+/**
+ * y := a*x + b*y (single precision; MKL's cblas_saxpby). Matching MKL's
+ * observed leniency, x (and its stride) is ignored — and may be null —
+ * when a == 0.
+ */
 void saxpby(std::int64_t n, float a, const float *x, std::int64_t incx,
             float b, float *y, std::int64_t incy);
 

@@ -1,6 +1,7 @@
 #include "minimkl/blas2.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "minimkl/blas1.hh"
 
 namespace mealib::mkl {
@@ -69,32 +70,47 @@ sgemv(Order order, Transpose trans, std::int64_t m, std::int64_t n,
     std::int64_t ybase = incy >= 0 ? 0 : (1 - ylen) * incy;
     std::int64_t xbase = incx >= 0 ? 0 : (1 - xlen) * incx;
 
+    const KernelTuning &tun = kernelTuning();
+    const int threads = tun.threadsFor(ylen * xlen);
+
     if (!c.transposed) {
         // Row-wise: each output element is a dot product over one stored
-        // row — the streaming-friendly case.
-        for (std::int64_t i = 0; i < ylen; ++i) {
-            double acc = 0.0;
-            const float *row = a + i * lda;
-            std::int64_t jx = xbase;
-            for (std::int64_t j = 0; j < xlen; ++j, jx += incx)
-                acc += static_cast<double>(row[j]) *
-                       static_cast<double>(x[jx]);
-            y[ybase + i * incy] +=
-                alpha * static_cast<float>(acc);
-        }
+        // row — the streaming-friendly case. Rows are independent, so
+        // the row range is statically partitioned across the pool; each
+        // row's accumulation stays sequential, keeping the result
+        // bit-identical for any thread count.
+        parallelFor(0, ylen, threads, 1,
+                    [&](std::int64_t rb, std::int64_t re) {
+                        for (std::int64_t i = rb; i < re; ++i) {
+                            double acc = 0.0;
+                            const float *row = a + i * lda;
+                            std::int64_t jx = xbase;
+                            for (std::int64_t j = 0; j < xlen;
+                                 ++j, jx += incx)
+                                acc += static_cast<double>(row[j]) *
+                                       static_cast<double>(x[jx]);
+                            y[ybase + i * incy] +=
+                                alpha * static_cast<float>(acc);
+                        }
+                    });
     } else {
         // Column-wise as saxpy over rows: keeps the matrix walk unit
-        // stride (cache-blocked axpy accumulation).
-        std::int64_t jx = xbase;
-        for (std::int64_t j = 0; j < xlen; ++j, jx += incx) {
-            float ax = alpha * x[jx];
-            if (ax == 0.0f)
-                continue;
-            const float *row = a + j * lda;
-            std::int64_t iy = ybase;
-            for (std::int64_t i = 0; i < ylen; ++i, iy += incy)
-                y[iy] += ax * row[i];
-        }
+        // stride. Each thread owns a contiguous slice of y and walks
+        // every stored row's slice, so writes never overlap and the
+        // per-element accumulation order (j ascending) is unchanged.
+        parallelFor(0, ylen, threads, 256,
+                    [&](std::int64_t lb, std::int64_t le) {
+                        std::int64_t jx = xbase;
+                        for (std::int64_t j = 0; j < xlen;
+                             ++j, jx += incx) {
+                            float ax = alpha * x[jx];
+                            if (ax == 0.0f)
+                                continue;
+                            const float *row = a + j * lda;
+                            for (std::int64_t i = lb; i < le; ++i)
+                                y[ybase + i * incy] += ax * row[i];
+                        }
+                    });
     }
 }
 
@@ -131,26 +147,38 @@ cgemv(Order order, Transpose trans, std::int64_t m, std::int64_t n,
 
     auto maybe_conj = [&](cfloat v) { return c.conj ? std::conj(v) : v; };
 
+    const KernelTuning &tun = kernelTuning();
+    const int threads = tun.threadsFor(2 * ylen * xlen);
+
     if (!c.transposed) {
-        for (std::int64_t i = 0; i < ylen; ++i) {
-            cfloat acc{};
-            const cfloat *row = a + i * lda;
-            std::int64_t jx = xbase;
-            for (std::int64_t j = 0; j < xlen; ++j, jx += incx)
-                acc += maybe_conj(row[j]) * x[jx];
-            y[ybase + i * incy] += alpha * acc;
-        }
+        parallelFor(0, ylen, threads, 1,
+                    [&](std::int64_t rb, std::int64_t re) {
+                        for (std::int64_t i = rb; i < re; ++i) {
+                            cfloat acc{};
+                            const cfloat *row = a + i * lda;
+                            std::int64_t jx = xbase;
+                            for (std::int64_t j = 0; j < xlen;
+                                 ++j, jx += incx)
+                                acc += maybe_conj(row[j]) * x[jx];
+                            y[ybase + i * incy] += alpha * acc;
+                        }
+                    });
     } else {
-        std::int64_t jx = xbase;
-        for (std::int64_t j = 0; j < xlen; ++j, jx += incx) {
-            cfloat ax = alpha * x[jx];
-            if (ax == cfloat{})
-                continue;
-            const cfloat *row = a + j * lda;
-            std::int64_t iy = ybase;
-            for (std::int64_t i = 0; i < ylen; ++i, iy += incy)
-                y[iy] += ax * maybe_conj(row[i]);
-        }
+        // Same y-slice ownership scheme as sgemv's transposed path.
+        parallelFor(0, ylen, threads, 256,
+                    [&](std::int64_t lb, std::int64_t le) {
+                        std::int64_t jx = xbase;
+                        for (std::int64_t j = 0; j < xlen;
+                             ++j, jx += incx) {
+                            cfloat ax = alpha * x[jx];
+                            if (ax == cfloat{})
+                                continue;
+                            const cfloat *row = a + j * lda;
+                            for (std::int64_t i = lb; i < le; ++i)
+                                y[ybase + i * incy] +=
+                                    ax * maybe_conj(row[i]);
+                        }
+                    });
     }
 }
 

@@ -4,6 +4,7 @@
 #include <complex>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mealib::mkl {
 
@@ -66,15 +67,20 @@ gemmRowMajor(Transpose transa, Transpose transb, std::int64_t m,
     if (m == 0 || n == 0)
         return;
 
-    for (std::int64_t i = 0; i < m; ++i) {
-        T *row = c + i * ldc;
-        if (isZero(beta)) {
-            std::fill(row, row + n, T{});
-        } else if (beta != T{1}) {
-            for (std::int64_t j = 0; j < n; ++j)
-                row[j] *= beta;
+    const KernelTuning &tun = kernelTuning();
+    const int threads = tun.threadsFor(m * n);
+
+    parallelFor(0, m, threads, 16, [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t i = rb; i < re; ++i) {
+            T *row = c + i * ldc;
+            if (isZero(beta)) {
+                std::fill(row, row + n, T{});
+            } else if (beta != T{1}) {
+                for (std::int64_t j = 0; j < n; ++j)
+                    row[j] *= beta;
+            }
         }
-    }
+    });
     if (isZero(alpha) || k == 0)
         return;
 
@@ -83,27 +89,32 @@ gemmRowMajor(Transpose transa, Transpose transb, std::int64_t m,
 
     // i-k-j loop nest with square blocking: the kj inner loops stream
     // over rows of op(B) and C, which keeps the walk unit-stride when
-    // op(B) is untransposed.
-    constexpr std::int64_t BS = 64;
-    for (std::int64_t ii = 0; ii < m; ii += BS) {
-        std::int64_t ie = std::min(ii + BS, m);
-        for (std::int64_t kk = 0; kk < k; kk += BS) {
-            std::int64_t ke = std::min(kk + BS, k);
-            for (std::int64_t jj = 0; jj < n; jj += BS) {
-                std::int64_t je = std::min(jj + BS, n);
-                for (std::int64_t i = ii; i < ie; ++i) {
-                    T *crow = c + i * ldc;
-                    for (std::int64_t p = kk; p < ke; ++p) {
-                        T av = alpha * A(i, p);
-                        if (isZero(av))
-                            continue;
-                        for (std::int64_t j = jj; j < je; ++j)
-                            crow[j] += av * B(p, j);
+    // op(B) is untransposed. Row bands own disjoint C rows, so the
+    // outer band loop fans out across the pool; within a row the
+    // kk-ascending update order is unchanged by the partition.
+    const std::int64_t BS = tun.gemmBlock;
+    const std::int64_t mult = tun.threadsFor(2 * m * n * k);
+    parallelFor(0, m, mult, BS, [&](std::int64_t mb, std::int64_t me) {
+        for (std::int64_t ii = mb; ii < me; ii += BS) {
+            std::int64_t ie = std::min(ii + BS, me);
+            for (std::int64_t kk = 0; kk < k; kk += BS) {
+                std::int64_t ke = std::min(kk + BS, k);
+                for (std::int64_t jj = 0; jj < n; jj += BS) {
+                    std::int64_t je = std::min(jj + BS, n);
+                    for (std::int64_t i = ii; i < ie; ++i) {
+                        T *crow = c + i * ldc;
+                        for (std::int64_t p = kk; p < ke; ++p) {
+                            T av = alpha * A(i, p);
+                            if (isZero(av))
+                                continue;
+                            for (std::int64_t j = jj; j < je; ++j)
+                                crow[j] += av * B(p, j);
+                        }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 Uplo
@@ -126,47 +137,77 @@ cherkRowMajor(Uplo uplo, Transpose trans, std::int64_t n, std::int64_t k,
     fatalIf(ldc < n, "cherk: ldc too small");
 
     const bool upper = uplo == Uplo::Upper;
+    const KernelTuning &tun = kernelTuning();
+    const int threads = tun.threadsFor(4 * n * n);
 
     // Scale the referenced triangle; the diagonal of a Hermitian matrix
     // is real, and BLAS guarantees the imaginary part is cleared.
-    for (std::int64_t i = 0; i < n; ++i) {
-        std::int64_t j0 = upper ? i : 0;
-        std::int64_t j1 = upper ? n : i + 1;
-        for (std::int64_t j = j0; j < j1; ++j) {
-            cfloat v = c[i * ldc + j] * beta;
-            if (i == j)
-                v = cfloat{v.real(), 0.0f};
-            c[i * ldc + j] = v;
+    parallelFor(0, n, threads, 16, [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t i = rb; i < re; ++i) {
+            std::int64_t j0 = upper ? i : 0;
+            std::int64_t j1 = upper ? n : i + 1;
+            for (std::int64_t j = j0; j < j1; ++j) {
+                cfloat v = c[i * ldc + j] * beta;
+                if (i == j)
+                    v = cfloat{v.real(), 0.0f};
+                c[i * ldc + j] = v;
+            }
         }
-    }
+    });
     if (alpha == 0.0f || k == 0)
         return;
 
     const bool notrans = trans == Transpose::NoTrans;
     // NoTrans: C += alpha * A * A^H with A n x k (row-major).
     // ConjTrans: C += alpha * A^H * A with A k x n.
-    for (std::int64_t i = 0; i < n; ++i) {
-        std::int64_t j0 = upper ? i : 0;
-        std::int64_t j1 = upper ? n : i + 1;
-        for (std::int64_t j = j0; j < j1; ++j) {
-            double re = 0.0, im = 0.0;
-            for (std::int64_t p = 0; p < k; ++p) {
-                cfloat x = notrans ? a[i * lda + p]
-                                   : std::conj(a[p * lda + i]);
-                cfloat y = notrans ? std::conj(a[j * lda + p])
-                                   : a[p * lda + j];
-                re += static_cast<double>(x.real()) * y.real() -
-                      static_cast<double>(x.imag()) * y.imag();
-                im += static_cast<double>(x.real()) * y.imag() +
-                      static_cast<double>(x.imag()) * y.real();
-            }
-            cfloat acc{static_cast<float>(re), static_cast<float>(im)};
-            cfloat v = c[i * ldc + j] + alpha * acc;
-            if (i == j)
-                v = cfloat{v.real(), 0.0f};
-            c[i * ldc + j] = v;
-        }
-    }
+    //
+    // Panel loop: k is cut into gemmBlock-sized panels so that in the
+    // NoTrans case row i's panel stays L1-resident while row j streams.
+    // Each (i, j) keeps one double accumulator across all panels, so
+    // the summation order (p ascending) — and hence the result — is
+    // identical to the unblocked walk for every thread count. Rows of
+    // the triangle are independent and fan out across the pool.
+    const std::int64_t PS = tun.gemmBlock;
+    const int rowThreads = tun.threadsFor(4 * n * n * k);
+    parallelFor(0, n, rowThreads, 1,
+                [&](std::int64_t rb, std::int64_t re) {
+                    for (std::int64_t i = rb; i < re; ++i) {
+                        std::int64_t j0 = upper ? i : 0;
+                        std::int64_t j1 = upper ? n : i + 1;
+                        for (std::int64_t j = j0; j < j1; ++j) {
+                            double racc = 0.0, iacc = 0.0;
+                            for (std::int64_t pp = 0; pp < k; pp += PS) {
+                                std::int64_t pe = std::min(pp + PS, k);
+                                for (std::int64_t p = pp; p < pe; ++p) {
+                                    cfloat x =
+                                        notrans
+                                            ? a[i * lda + p]
+                                            : std::conj(a[p * lda + i]);
+                                    cfloat y =
+                                        notrans
+                                            ? std::conj(a[j * lda + p])
+                                            : a[p * lda + j];
+                                    racc +=
+                                        static_cast<double>(x.real()) *
+                                            y.real() -
+                                        static_cast<double>(x.imag()) *
+                                            y.imag();
+                                    iacc +=
+                                        static_cast<double>(x.real()) *
+                                            y.imag() +
+                                        static_cast<double>(x.imag()) *
+                                            y.real();
+                                }
+                            }
+                            cfloat acc{static_cast<float>(racc),
+                                       static_cast<float>(iacc)};
+                            cfloat v = c[i * ldc + j] + alpha * acc;
+                            if (i == j)
+                                v = cfloat{v.real(), 0.0f};
+                            c[i * ldc + j] = v;
+                        }
+                    }
+                });
 }
 
 /** Row-major TRSM core. B is m x n; see header for semantics. */
@@ -188,67 +229,83 @@ trsmRowMajor(Side side, Uplo uplo, Transpose trans, Diag diag,
     Uplo eff = trans == Transpose::NoTrans ? uplo : flipUplo(uplo);
     const bool unit = diag == Diag::Unit;
 
-    for (std::int64_t i = 0; i < m; ++i)
-        for (std::int64_t j = 0; j < n; ++j)
-            b[i * ldb + j] *= alpha;
+    const KernelTuning &tun = kernelTuning();
+    const std::int64_t solveDim = side == Side::Left ? m : n;
+    const int threads = tun.threadsFor(2 * m * n * solveDim);
+
+    parallelFor(0, m, threads, 16, [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t i = rb; i < re; ++i)
+            for (std::int64_t j = 0; j < n; ++j)
+                b[i * ldb + j] *= alpha;
+    });
 
     if (side == Side::Left) {
-        // Solve op(A) * X = B row-block-wise.
-        if (eff == Uplo::Lower) {
-            for (std::int64_t i = 0; i < m; ++i) {
-                for (std::int64_t p = 0; p < i; ++p) {
-                    T f = A(i, p);
-                    if (isZero(f))
-                        continue;
-                    for (std::int64_t j = 0; j < n; ++j)
-                        b[i * ldb + j] -= f * b[p * ldb + j];
+        // Solve op(A) * X = B row-block-wise. The row recurrence is
+        // sequential, but B's columns are independent right-hand sides:
+        // each pool lane runs the full recurrence over its own column
+        // panel [jb, je), so writes are disjoint and each element's
+        // update order is exactly the sequential one.
+        auto panel = [&](std::int64_t jb, std::int64_t je) {
+            if (eff == Uplo::Lower) {
+                for (std::int64_t i = 0; i < m; ++i) {
+                    for (std::int64_t p = 0; p < i; ++p) {
+                        T f = A(i, p);
+                        if (isZero(f))
+                            continue;
+                        for (std::int64_t j = jb; j < je; ++j)
+                            b[i * ldb + j] -= f * b[p * ldb + j];
+                    }
+                    if (!unit) {
+                        T d = A(i, i);
+                        for (std::int64_t j = jb; j < je; ++j)
+                            b[i * ldb + j] /= d;
+                    }
                 }
-                if (!unit) {
-                    T d = A(i, i);
-                    for (std::int64_t j = 0; j < n; ++j)
-                        b[i * ldb + j] /= d;
+            } else {
+                for (std::int64_t i = m - 1; i >= 0; --i) {
+                    for (std::int64_t p = i + 1; p < m; ++p) {
+                        T f = A(i, p);
+                        if (isZero(f))
+                            continue;
+                        for (std::int64_t j = jb; j < je; ++j)
+                            b[i * ldb + j] -= f * b[p * ldb + j];
+                    }
+                    if (!unit) {
+                        T d = A(i, i);
+                        for (std::int64_t j = jb; j < je; ++j)
+                            b[i * ldb + j] /= d;
+                    }
                 }
             }
-        } else {
-            for (std::int64_t i = m - 1; i >= 0; --i) {
-                for (std::int64_t p = i + 1; p < m; ++p) {
-                    T f = A(i, p);
-                    if (isZero(f))
-                        continue;
-                    for (std::int64_t j = 0; j < n; ++j)
-                        b[i * ldb + j] -= f * b[p * ldb + j];
-                }
-                if (!unit) {
-                    T d = A(i, i);
-                    for (std::int64_t j = 0; j < n; ++j)
-                        b[i * ldb + j] /= d;
-                }
-            }
-        }
+        };
+        parallelFor(0, n, threads, 16, panel);
     } else {
         // Solve X * op(A) = B: each row of B is an independent solve
         // against op(A) from the right.
-        if (eff == Uplo::Upper) {
-            for (std::int64_t r = 0; r < m; ++r) {
-                T *row = b + r * ldb;
-                for (std::int64_t j = 0; j < n; ++j) {
-                    T acc = row[j];
-                    for (std::int64_t p = 0; p < j; ++p)
-                        acc -= row[p] * A(p, j);
-                    row[j] = unit ? acc : acc / A(j, j);
+        auto rows = [&](std::int64_t rb, std::int64_t re) {
+            if (eff == Uplo::Upper) {
+                for (std::int64_t r = rb; r < re; ++r) {
+                    T *row = b + r * ldb;
+                    for (std::int64_t j = 0; j < n; ++j) {
+                        T acc = row[j];
+                        for (std::int64_t p = 0; p < j; ++p)
+                            acc -= row[p] * A(p, j);
+                        row[j] = unit ? acc : acc / A(j, j);
+                    }
+                }
+            } else {
+                for (std::int64_t r = rb; r < re; ++r) {
+                    T *row = b + r * ldb;
+                    for (std::int64_t j = n - 1; j >= 0; --j) {
+                        T acc = row[j];
+                        for (std::int64_t p = j + 1; p < n; ++p)
+                            acc -= row[p] * A(p, j);
+                        row[j] = unit ? acc : acc / A(j, j);
+                    }
                 }
             }
-        } else {
-            for (std::int64_t r = 0; r < m; ++r) {
-                T *row = b + r * ldb;
-                for (std::int64_t j = n - 1; j >= 0; --j) {
-                    T acc = row[j];
-                    for (std::int64_t p = j + 1; p < n; ++p)
-                        acc -= row[p] * A(p, j);
-                    row[j] = unit ? acc : acc / A(j, j);
-                }
-            }
-        }
+        };
+        parallelFor(0, m, threads, 1, rows);
     }
 }
 

@@ -132,24 +132,18 @@ mkl_scsrgemv(const char *transa, const int *m, const float *a,
     mealib::fatalIf(transa == nullptr || m == nullptr,
                     "mkl_scsrgemv: null argument");
     const std::int64_t rows = *m;
-    // Adapt the classic 1-based interface: build a zero-based view.
-    mkl::CsrMatrix csr;
-    csr.rows = rows;
-    csr.cols = rows; // the classic interface assumes square
-    csr.rowPtr.resize(static_cast<std::size_t>(rows) + 1);
-    const std::int64_t nnz = ia[rows] - 1;
-    for (std::int64_t i = 0; i <= rows; ++i)
-        csr.rowPtr[static_cast<std::size_t>(i)] = ia[i] - 1;
-    csr.colIdx.resize(static_cast<std::size_t>(nnz));
-    csr.vals.assign(a, a + nnz);
-    for (std::int64_t k = 0; k < nnz; ++k)
-        csr.colIdx[static_cast<std::size_t>(k)] = ja[k] - 1;
+    // The classic 1-based arrays are consumed in place (no CsrMatrix
+    // copy): the raw kernels adjust for the index base per access.
+    static_assert(sizeof(int) == sizeof(std::int32_t),
+                  "mkl_scsrgemv assumes 32-bit int indices");
+    const auto *ia32 = reinterpret_cast<const std::int32_t *>(ia);
+    const auto *ja32 = reinterpret_cast<const std::int32_t *>(ja);
 
     const char t = *transa;
     if (t == 'N' || t == 'n') {
-        mkl::scsrmv(csr, x, y);
+        mkl::scsrmvRaw1(rows, ia32, ja32, a, x, y);
     } else if (t == 'T' || t == 't') {
-        mkl::scsrmvTrans(csr, x, y);
+        mkl::scsrmvTransRaw1(rows, ia32, ja32, a, x, y);
     } else {
         mealib::fatal("mkl_scsrgemv: bad transa '", t, "'");
     }

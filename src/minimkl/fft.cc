@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mealib::mkl {
 
@@ -149,34 +150,51 @@ FftPlan::applyOne(const cfloat *in, cfloat *out) const
         return;
     }
     // Rank 2: transform dim 1 per row into out, then dim 0 in-place.
+    // Rows (and then columns) are independent transforms, so each pass
+    // fans out across the pool; the two parallelFor calls form a
+    // barrier between the passes.
     const FftDim &d0 = dims_[0];
     const FftDim &d1 = dims_[1];
-    for (std::int64_t r = 0; r < d0.n; ++r)
-        dft1dStrided(in + r * d0.is, d1.is, out + r * d0.os, d1.os, d1.n);
-    for (std::int64_t c = 0; c < d1.n; ++c)
-        dft1dStrided(out + c * d1.os, d0.os, out + c * d1.os, d0.os,
-                     d0.n);
+    const KernelTuning &t = kernelTuning();
+    parallelFor(0, d0.n, t.threadsFor(2 * points_), 1,
+                [&](std::int64_t rb, std::int64_t re) {
+                    for (std::int64_t r = rb; r < re; ++r)
+                        dft1dStrided(in + r * d0.is, d1.is,
+                                     out + r * d0.os, d1.os, d1.n);
+                });
+    parallelFor(0, d1.n, t.threadsFor(2 * points_), 1,
+                [&](std::int64_t cb, std::int64_t ce) {
+                    for (std::int64_t c = cb; c < ce; ++c)
+                        dft1dStrided(out + c * d1.os, d0.os,
+                                     out + c * d1.os, d0.os, d0.n);
+                });
 }
 
 void
 FftPlan::execute(const cfloat *in, cfloat *out) const
 {
-    // Iterate the loop dims as nested counters (rank-0 plans rely on
-    // these to enumerate every copied element).
-    std::vector<std::int64_t> ctr(loops_.size(), 0);
-    for (std::int64_t b = 0; b < batch_; ++b) {
-        std::int64_t ioff = 0, ooff = 0;
-        for (std::size_t d = 0; d < loops_.size(); ++d) {
-            ioff += ctr[d] * loops_[d].is;
-            ooff += ctr[d] * loops_[d].os;
+    // Batch iterations are independent transforms over disjoint offsets,
+    // so the flat batch index range is statically partitioned across the
+    // pool. Each index is decomposed into the nested loop counters
+    // (last loop dim fastest, matching the sequential iteration order) —
+    // rank-0 plans rely on these to enumerate every copied element.
+    auto runRange = [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b) {
+            std::int64_t rest = b;
+            std::int64_t ioff = 0, ooff = 0;
+            for (std::size_t d = loops_.size(); d-- > 0;) {
+                std::int64_t c = rest % loops_[d].n;
+                rest /= loops_[d].n;
+                ioff += c * loops_[d].is;
+                ooff += c * loops_[d].os;
+            }
+            applyOne(in + ioff, out + ooff);
         }
-        applyOne(in + ioff, out + ooff);
-        for (std::size_t d = loops_.size(); d-- > 0;) {
-            if (++ctr[d] < loops_[d].n)
-                break;
-            ctr[d] = 0;
-        }
-    }
+    };
+    const KernelTuning &t = kernelTuning();
+    const std::int64_t work = 2 * points_ * batch_;
+    parallelFor(0, batch_, batch_ > 1 ? t.threadsFor(work) : 1, 1,
+                runRange);
 }
 
 void

@@ -6,8 +6,92 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mealib::mkl {
+
+namespace {
+
+/**
+ * Split [0, rows) into at most @p parts row ranges of roughly equal
+ * nonzero count using the CSR row-pointer prefix sums. Skewed matrices
+ * (a few dense rows) would starve most threads under naive equal-row
+ * partitioning; equal-nnz bounds keep the per-thread work balanced.
+ * @p PtrT is the row-pointer element type (int64 CSR, int32 legacy),
+ * @p base its index base (0 or 1).
+ */
+template <typename PtrT>
+std::vector<std::int64_t>
+nnzBalancedBounds(std::int64_t rows, const PtrT *rowPtr, PtrT base,
+                  int parts)
+{
+    std::vector<std::int64_t> bounds;
+    bounds.reserve(static_cast<std::size_t>(parts) + 1);
+    bounds.push_back(0);
+    const std::int64_t nnz = rowPtr[rows] - base;
+    for (int p = 1; p < parts; ++p) {
+        const PtrT target =
+            static_cast<PtrT>(base + nnz * p / parts);
+        const PtrT *it =
+            std::lower_bound(rowPtr, rowPtr + rows + 1, target);
+        std::int64_t r = it - rowPtr;
+        bounds.push_back(std::clamp<std::int64_t>(r, bounds.back(), rows));
+    }
+    bounds.push_back(rows);
+    return bounds;
+}
+
+/** Core row-range SpMV shared by the CSR and raw entry points. */
+template <typename PtrT>
+void
+spmvRows(std::int64_t rb, std::int64_t re, const PtrT *rowPtr, PtrT base,
+         const std::int32_t *colIdx, const float *vals, const float *x,
+         float *y)
+{
+    for (std::int64_t r = rb; r < re; ++r) {
+        double acc = 0.0;
+        const std::int64_t k0 = rowPtr[r] - base;
+        const std::int64_t k1 = rowPtr[r + 1] - base;
+        for (std::int64_t k = k0; k < k1; ++k)
+            acc += static_cast<double>(vals[k]) *
+                   static_cast<double>(x[colIdx[k] - base]);
+        y[r] = static_cast<float>(acc);
+    }
+}
+
+/** nnz-balanced parallel driver over any row-pointer flavour. */
+template <typename PtrT>
+void
+spmvParallel(std::int64_t rows, const PtrT *rowPtr, PtrT base,
+             const std::int32_t *colIdx, const float *vals,
+             const float *x, float *y)
+{
+    if (rows <= 0)
+        return;
+    const std::int64_t nnz = rowPtr[rows] - base;
+    const KernelTuning &t = kernelTuning();
+    const int threads = t.threadsFor(2 * nnz);
+    if (threads <= 1) {
+        spmvRows<PtrT>(0, rows, rowPtr, base, colIdx, vals, x, y);
+        return;
+    }
+    // Rows are partitioned by nnz share; every row is still summed
+    // sequentially by exactly one thread, so the output is bit-identical
+    // to the serial walk regardless of the partition.
+    std::vector<std::int64_t> bounds =
+        nnzBalancedBounds(rows, rowPtr, base, threads);
+    const int parts = static_cast<int>(bounds.size()) - 1;
+    parallelFor(0, parts, parts, 1,
+                [&](std::int64_t pb, std::int64_t pe) {
+                    for (std::int64_t p = pb; p < pe; ++p)
+                        spmvRows<PtrT>(bounds[static_cast<std::size_t>(p)],
+                                       bounds[static_cast<std::size_t>(
+                                           p + 1)],
+                                       rowPtr, base, colIdx, vals, x, y);
+                });
+}
+
+} // namespace
 
 void
 CsrMatrix::validate() const
@@ -33,13 +117,8 @@ CsrMatrix::validate() const
 void
 scsrmv(const CsrMatrix &a, const float *x, float *y)
 {
-    for (std::int64_t r = 0; r < a.rows; ++r) {
-        double acc = 0.0;
-        for (std::int64_t k = a.rowPtr[r]; k < a.rowPtr[r + 1]; ++k)
-            acc += static_cast<double>(a.vals[k]) *
-                   static_cast<double>(x[a.colIdx[k]]);
-        y[r] = static_cast<float>(acc);
-    }
+    spmvParallel<std::int64_t>(a.rows, a.rowPtr.data(), 0,
+                               a.colIdx.data(), a.vals.data(), x, y);
 }
 
 void
@@ -47,12 +126,34 @@ scsrmvRaw(std::int64_t rows, const std::int64_t *rowPtr,
           const std::int32_t *colIdx, const float *vals, const float *x,
           float *y)
 {
+    spmvParallel<std::int64_t>(rows, rowPtr, 0, colIdx, vals, x, y);
+}
+
+void
+scsrmvRaw1(std::int64_t rows, const std::int32_t *rowPtr,
+           const std::int32_t *colIdx, const float *vals, const float *x,
+           float *y)
+{
+    spmvParallel<std::int32_t>(rows, rowPtr, 1, colIdx, vals, x, y);
+}
+
+void
+scsrmvTransRaw1(std::int64_t rows, const std::int32_t *rowPtr,
+                const std::int32_t *colIdx, const float *vals,
+                const float *x, float *y)
+{
+    // The scatter formulation writes y[colIdx[k]] across rows, so the
+    // transposed walk stays serial: parallelizing it would need
+    // per-thread output buffers whose merge order depends on the thread
+    // count, breaking bit-reproducibility. The classic interface
+    // assumes a square matrix, so y has `rows` elements.
+    std::memset(y, 0, static_cast<std::size_t>(rows) * sizeof(float));
     for (std::int64_t r = 0; r < rows; ++r) {
-        double acc = 0.0;
-        for (std::int64_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k)
-            acc += static_cast<double>(vals[k]) *
-                   static_cast<double>(x[colIdx[k]]);
-        y[r] = static_cast<float>(acc);
+        float xv = x[r];
+        if (xv == 0.0f)
+            continue;
+        for (std::int64_t k = rowPtr[r] - 1; k < rowPtr[r + 1] - 1; ++k)
+            y[colIdx[k] - 1] += vals[k] * xv;
     }
 }
 

@@ -66,6 +66,20 @@ void scsrmvRaw(std::int64_t rows, const std::int64_t *rowPtr,
 /** y := A^T*x for CSR A (scatter formulation). */
 void scsrmvTrans(const CsrMatrix &a, const float *x, float *y);
 
+/**
+ * SpMV over classic 1-based MKL CSR arrays (square matrix), used by the
+ * mkl_scsrgemv shim so legacy callers get the parallel path without the
+ * matrix being copied into a CsrMatrix first.
+ */
+void scsrmvRaw1(std::int64_t rows, const std::int32_t *rowPtr,
+                const std::int32_t *colIdx, const float *vals,
+                const float *x, float *y);
+
+/** Transposed variant of scsrmvRaw1 (y := A^T*x, 1-based arrays). */
+void scsrmvTransRaw1(std::int64_t rows, const std::int32_t *rowPtr,
+                     const std::int32_t *colIdx, const float *vals,
+                     const float *x, float *y);
+
 /** Triplet (COO) entry used by the builder. */
 struct Triplet
 {

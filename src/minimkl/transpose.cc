@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mealib::mkl {
 
@@ -21,11 +22,14 @@ conjOf(cfloat v)
     return std::conj(v);
 }
 
-constexpr std::int64_t BS = 32; //!< fits two BSxBS float tiles in L1
-
 /**
  * Row-major core of B := alpha * op(A). Column-major callers flip
  * rows/cols (a column-major matrix is its row-major transpose).
+ *
+ * The transposing path is tiled in KernelTuning::tile-sized square
+ * blocks (the default 32x32 float tile pair fits in L1) and the tile
+ * row-bands are statically partitioned across the thread pool: band i
+ * only writes columns [ii, ie) of B, so bands never overlap.
  */
 template <typename T>
 void
@@ -40,36 +44,48 @@ omatcopyRowMajor(Transpose trans, std::int64_t rows, std::int64_t cols,
     const bool cj = trans == Transpose::ConjTrans;
     fatalIf(ldb < (t ? rows : cols), "omatcopy: ldb too small");
 
+    const KernelTuning &tun = kernelTuning();
+    const int threads = tun.threadsFor(rows * cols);
+
     if (!t) {
-        for (std::int64_t i = 0; i < rows; ++i) {
-            const T *ra = a + i * lda;
-            T *rb = b + i * ldb;
-            if (cj) {
-                for (std::int64_t j = 0; j < cols; ++j)
-                    rb[j] = alpha * conjOf(ra[j]);
-            } else {
-                for (std::int64_t j = 0; j < cols; ++j)
-                    rb[j] = alpha * ra[j];
-            }
-        }
+        parallelFor(0, rows, threads, 1,
+                    [&](std::int64_t rb, std::int64_t re) {
+                        for (std::int64_t i = rb; i < re; ++i) {
+                            const T *ra = a + i * lda;
+                            T *rb2 = b + i * ldb;
+                            if (cj) {
+                                for (std::int64_t j = 0; j < cols; ++j)
+                                    rb2[j] = alpha * conjOf(ra[j]);
+                            } else {
+                                for (std::int64_t j = 0; j < cols; ++j)
+                                    rb2[j] = alpha * ra[j];
+                            }
+                        }
+                    });
         return;
     }
 
     // Blocked transpose: both the read and the write stay within one
     // BS x BS tile, so each side touches at most BS distinct rows.
-    for (std::int64_t ii = 0; ii < rows; ii += BS) {
-        std::int64_t ie = std::min(ii + BS, rows);
-        for (std::int64_t jj = 0; jj < cols; jj += BS) {
-            std::int64_t je = std::min(jj + BS, cols);
-            for (std::int64_t i = ii; i < ie; ++i) {
-                const T *ra = a + i * lda;
-                for (std::int64_t j = jj; j < je; ++j) {
-                    T v = cj ? conjOf(ra[j]) : ra[j];
-                    b[j * ldb + i] = alpha * v;
-                }
-            }
-        }
-    }
+    const std::int64_t BS = tun.tile;
+    const std::int64_t rowTiles = (rows + BS - 1) / BS;
+    parallelFor(0, rowTiles, threads, 1,
+                [&](std::int64_t tb, std::int64_t te) {
+                    for (std::int64_t rt = tb; rt < te; ++rt) {
+                        std::int64_t ii = rt * BS;
+                        std::int64_t ie = std::min(ii + BS, rows);
+                        for (std::int64_t jj = 0; jj < cols; jj += BS) {
+                            std::int64_t je = std::min(jj + BS, cols);
+                            for (std::int64_t i = ii; i < ie; ++i) {
+                                const T *ra = a + i * lda;
+                                for (std::int64_t j = jj; j < je; ++j) {
+                                    T v = cj ? conjOf(ra[j]) : ra[j];
+                                    b[j * ldb + i] = alpha * v;
+                                }
+                            }
+                        }
+                    }
+                });
 }
 
 template <typename T>
@@ -101,38 +117,57 @@ imatcopyDispatch(Order order, Transpose trans, std::int64_t rows,
     std::int64_t scols = order == Order::RowMajor ? cols : rows;
     fatalIf(lda < scols, "imatcopy: lda too small");
 
+    const KernelTuning &tun = kernelTuning();
+    const int threads = tun.threadsFor(srows * scols);
+
     if (!t) {
         fatalIf(ldb < scols, "imatcopy: ldb too small");
-        for (std::int64_t i = 0; i < srows; ++i) {
-            T *r = ab + i * lda;
-            for (std::int64_t j = 0; j < scols; ++j)
-                r[j] = alpha * (cj ? conjOf(r[j]) : r[j]);
-        }
         // NoTrans with lda != ldb would need a row repack; MKL requires
         // lda == ldb here and so do we.
         fatalIf(lda != ldb, "imatcopy: NoTrans requires lda == ldb");
+        parallelFor(0, srows, threads, 1,
+                    [&](std::int64_t rb, std::int64_t re) {
+                        for (std::int64_t i = rb; i < re; ++i) {
+                            T *r = ab + i * lda;
+                            for (std::int64_t j = 0; j < scols; ++j)
+                                r[j] = alpha * (cj ? conjOf(r[j]) : r[j]);
+                        }
+                    });
         return;
     }
 
+    const std::int64_t BS = tun.tile;
     if (srows == scols && lda == ldb) {
         // Square in-place transpose by swapping across the diagonal,
-        // tile pair by tile pair.
+        // tile pair by tile pair. Band rt swaps tiles (rt, jj >= rt)
+        // with their mirrors, so two bands never touch the same tile
+        // pair: band rt writes row-band rt plus the mirrored column-band
+        // rt, and those mirrors live in rows jj > rt of columns
+        // [rt*BS, ...) that no other band's swap reaches.
         std::int64_t n = srows;
-        for (std::int64_t ii = 0; ii < n; ii += BS) {
-            std::int64_t ie = std::min(ii + BS, n);
-            for (std::int64_t jj = ii; jj < n; jj += BS) {
-                std::int64_t je = std::min(jj + BS, n);
-                for (std::int64_t i = ii; i < ie; ++i) {
-                    std::int64_t j0 = std::max(jj, i);
-                    for (std::int64_t j = j0; j < je; ++j) {
-                        T x = ab[i * lda + j];
-                        T y = ab[j * lda + i];
-                        ab[i * lda + j] = alpha * (cj ? conjOf(y) : y);
-                        ab[j * lda + i] = alpha * (cj ? conjOf(x) : x);
-                    }
-                }
-            }
-        }
+        const std::int64_t tiles = (n + BS - 1) / BS;
+        parallelFor(0, tiles, threads, 1,
+                    [&](std::int64_t tb, std::int64_t te) {
+                        for (std::int64_t rt = tb; rt < te; ++rt) {
+                            std::int64_t ii = rt * BS;
+                            std::int64_t ie = std::min(ii + BS, n);
+                            for (std::int64_t jj = ii; jj < n; jj += BS) {
+                                std::int64_t je = std::min(jj + BS, n);
+                                for (std::int64_t i = ii; i < ie; ++i) {
+                                    std::int64_t j0 = std::max(jj, i);
+                                    for (std::int64_t j = j0; j < je;
+                                         ++j) {
+                                        T x = ab[i * lda + j];
+                                        T y = ab[j * lda + i];
+                                        ab[i * lda + j] =
+                                            alpha * (cj ? conjOf(y) : y);
+                                        ab[j * lda + i] =
+                                            alpha * (cj ? conjOf(x) : x);
+                                    }
+                                }
+                            }
+                        }
+                    });
         return;
     }
 
@@ -142,9 +177,13 @@ imatcopyDispatch(Order order, Transpose trans, std::int64_t rows,
     std::vector<T> tmp(static_cast<std::size_t>(orows * ocols));
     omatcopyRowMajor(cj ? Transpose::ConjTrans : Transpose::Trans, srows,
                      scols, alpha, ab, lda, tmp.data(), ocols);
-    for (std::int64_t i = 0; i < orows; ++i)
-        std::copy(tmp.begin() + i * ocols, tmp.begin() + (i + 1) * ocols,
-                  ab + i * ldb);
+    parallelFor(0, orows, threads, 1,
+                [&](std::int64_t rb, std::int64_t re) {
+                    for (std::int64_t i = rb; i < re; ++i)
+                        std::copy(tmp.begin() + i * ocols,
+                                  tmp.begin() + (i + 1) * ocols,
+                                  ab + i * ldb);
+                });
 }
 
 } // namespace
