@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "dispatch/ops.hh"
 #include "minimkl/blas1.hh"
 
 namespace mealib::apps {
@@ -51,21 +52,21 @@ solveCgHost(const mkl::CsrMatrix &a, const std::vector<float> &b,
     std::vector<float> ap(b.size());
 
     double bnorm = std::sqrt(static_cast<double>(
-        mkl::sdot(n, b.data(), 1, b.data(), 1)));
+        dispatch::ops::sdot(n, b.data(), 1, b.data(), 1)));
     if (bnorm == 0.0) {
         res.converged = true;
         return res;
     }
-    double rs = mkl::sdot(n, r.data(), 1, r.data(), 1);
+    double rs = dispatch::ops::sdot(n, r.data(), 1, r.data(), 1);
 
     for (unsigned it = 0; it < opts.maxIterations; ++it) {
-        mkl::scsrmv(a, p.data(), ap.data());
-        double pap = mkl::sdot(n, p.data(), 1, ap.data(), 1);
+        dispatch::ops::scsrmv(a, p.data(), ap.data());
+        double pap = dispatch::ops::sdot(n, p.data(), 1, ap.data(), 1);
         fatalIf(pap <= 0.0, "cg: matrix is not positive definite");
         float alpha = static_cast<float>(rs / pap);
-        mkl::saxpy(n, alpha, p.data(), 1, res.x.data(), 1);
-        mkl::saxpy(n, -alpha, ap.data(), 1, r.data(), 1);
-        double rs_new = mkl::sdot(n, r.data(), 1, r.data(), 1);
+        dispatch::ops::saxpy(n, alpha, p.data(), 1, res.x.data(), 1);
+        dispatch::ops::saxpy(n, -alpha, ap.data(), 1, r.data(), 1);
+        double rs_new = dispatch::ops::sdot(n, r.data(), 1, r.data(), 1);
         res.iterations = it + 1;
         if (std::sqrt(rs_new) <= opts.tolerance * bnorm) {
             res.converged = true;
@@ -74,7 +75,7 @@ solveCgHost(const mkl::CsrMatrix &a, const std::vector<float> &b,
         }
         float beta = static_cast<float>(rs_new / rs);
         // p := r + beta * p
-        mkl::saxpby(n, 1.0f, r.data(), 1, beta, p.data(), 1);
+        dispatch::ops::saxpby(n, 1.0f, r.data(), 1, beta, p.data(), 1);
         rs = rs_new;
     }
     res.residualNorm = std::sqrt(rs);

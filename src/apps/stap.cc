@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "dispatch/ops.hh"
 #include "mealib/platform.hh"
 #include "minimkl/blas1.hh"
 #include "minimkl/blas3.hh"
@@ -192,9 +193,9 @@ computeWeights(const StapParams &p, const cfloat *snap, cfloat *weights,
                            l;
             // R = A^H A over the training block (A is tbs x l).
             std::fill(r.begin(), r.end(), cfloat{});
-            mkl::cherk(mkl::Order::RowMajor, mkl::Uplo::Lower,
-                       mkl::Transpose::ConjTrans, l, p.tbs, 1.0f, a, l,
-                       0.0f, r.data(), l);
+            dispatch::ops::cherk(mkl::Order::RowMajor, mkl::Uplo::Lower,
+                                 mkl::Transpose::ConjTrans, l, p.tbs,
+                                 1.0f, a, l, 0.0f, r.data(), l);
             calls++;
             // Diagonal loading keeps the factorization well posed.
             for (unsigned d = 0; d < l; ++d)
@@ -204,14 +205,17 @@ computeWeights(const StapParams &p, const cfloat *snap, cfloat *weights,
 
             // Solve R w = v via L y = v, then L^H w = y.
             std::copy(v.begin(), v.end(), y.begin());
-            mkl::ctrsm(mkl::Order::RowMajor, mkl::Side::Left,
-                       mkl::Uplo::Lower, mkl::Transpose::NoTrans,
-                       mkl::Diag::NonUnit, l, p.nSteering, {1.0f, 0.0f},
-                       r.data(), l, y.data(), p.nSteering);
-            mkl::ctrsm(mkl::Order::RowMajor, mkl::Side::Left,
-                       mkl::Uplo::Lower, mkl::Transpose::ConjTrans,
-                       mkl::Diag::NonUnit, l, p.nSteering, {1.0f, 0.0f},
-                       r.data(), l, y.data(), p.nSteering);
+            dispatch::ops::ctrsm(mkl::Order::RowMajor, mkl::Side::Left,
+                                 mkl::Uplo::Lower, mkl::Transpose::NoTrans,
+                                 mkl::Diag::NonUnit, l, p.nSteering,
+                                 {1.0f, 0.0f}, r.data(), l, y.data(),
+                                 p.nSteering);
+            dispatch::ops::ctrsm(mkl::Order::RowMajor, mkl::Side::Left,
+                                 mkl::Uplo::Lower,
+                                 mkl::Transpose::ConjTrans,
+                                 mkl::Diag::NonUnit, l, p.nSteering,
+                                 {1.0f, 0.0f}, r.data(), l, y.data(),
+                                 p.nSteering);
             calls += 2;
 
             // Repack column sv of y into the [sv][dof] weight layout.
@@ -375,7 +379,8 @@ runStapHost(const StapParams &p)
     std::vector<cfloat> mid(cube.size());
     std::vector<cfloat> doppler(cube.size());
     for (unsigned ch = 0; ch < p.nChan; ++ch) {
-        mkl::comatcopy(mkl::Order::RowMajor, mkl::Transpose::Trans,
+        dispatch::ops::comatcopy(
+                       mkl::Order::RowMajor, mkl::Transpose::Trans,
                        p.nDop, p.nRange(), {1.0f, 0.0f},
                        cube.data() +
                            static_cast<std::size_t>(ch) * p.nDop *
@@ -422,13 +427,13 @@ runStapHost(const StapParams &p)
                                p.nSteering +
                            s) *
                               p.tbs +
-                          c] = mkl::cdotc(l, w, 1, x, 1);
+                          c] = dispatch::ops::cdotc(l, w, 1, x, 1);
                 }
 
     res.prods.assign(prods.size(), cfloat{});
-    mkl::caxpy(static_cast<std::int64_t>(prods.size()),
-               {1.0f / static_cast<float>(p.tbs), 0.0f}, prods.data(), 1,
-               res.prods.data(), 1);
+    dispatch::ops::caxpy(static_cast<std::int64_t>(prods.size()),
+                         {1.0f / static_cast<float>(p.tbs), 0.0f},
+                         prods.data(), 1, res.prods.data(), 1);
 
     // --- cost model: every stage runs on the host --------------------
     StapCalls calls = buildCalls(p, 0, 0, 0, 0, 0, 0, 0);

@@ -1,0 +1,56 @@
+#include "dispatch/backend.hh"
+
+#include <string>
+
+#include "accel/descriptor.hh"
+#include "runtime/event.hh"
+
+namespace mealib::dispatch {
+
+Status
+RuntimeBackend::execute(const OpDesc &desc)
+{
+    if (!desc.accelSupported || !accelerable(desc.kind))
+        return Status::error(ErrorCode::InvalidArgument,
+                             std::string("backend: ") +
+                                 dispatch::name(desc.kind) +
+                                 " has no accelerator mapping");
+    if (!desc.backendMappable)
+        return Status::error(ErrorCode::InvalidArgument,
+                             std::string("backend: ") + desc.entry +
+                                 " operand layout not COMP-mappable");
+
+    // Fill the COMP's physical bases from the host operand pointers;
+    // null pointers keep whatever base the lowering preset (TDL path).
+    accel::OpCall call = desc.call;
+    accel::OperandRef *slots[5] = {&call.in0, &call.in1, &call.in2,
+                                   &call.in3, &call.out};
+    for (std::size_t i = 0; i < desc.operands.size(); ++i) {
+        const Operand &op = desc.operands[i];
+        if (op.host == nullptr)
+            continue;
+        Addr paddr = 0;
+        if (!rt_.tryPhysOf(op.host, &paddr))
+            return Status::error(
+                ErrorCode::InvalidArgument,
+                std::string("backend: ") + desc.entry + " operand " +
+                    std::to_string(i) +
+                    " is not in accelerator memory");
+        slots[i]->base = paddr;
+    }
+
+    accel::DescriptorProgram prog;
+    if (desc.loop.iterations() > 1)
+        prog.addLoop(desc.loop, 2);
+    prog.addComp(call);
+    prog.addPassEnd();
+
+    runtime::AccPlanHandle plan = rt_.accPlan(prog);
+    runtime::Event ev = rt_.accSubmit(plan);
+    ev.wait();
+    Status st = completed(ev.state()) ? Status() : ev.status();
+    rt_.accDestroy(plan);
+    return st;
+}
+
+} // namespace mealib::dispatch

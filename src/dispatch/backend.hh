@@ -1,0 +1,43 @@
+/**
+ * @file
+ * AccelBackend over the MEALib runtime.
+ *
+ * Translates an OpDesc into a descriptor program — host operand
+ * pointers become physical stack addresses via MealibRuntime::
+ * tryPhysOf(); null pointers keep the bases preset in the OpCall (the
+ * TDL path) — submits it on the PR-1 command queues, and reports the
+ * Event outcome as a Status. Operands outside the runtime arena make
+ * execute() decline with InvalidArgument so the dispatcher records an
+ * unmappable fallback and runs the host kernel instead.
+ */
+
+#ifndef MEALIB_DISPATCH_BACKEND_HH
+#define MEALIB_DISPATCH_BACKEND_HH
+
+#include "dispatch/dispatcher.hh"
+#include "runtime/runtime.hh"
+
+namespace mealib::dispatch {
+
+/** Dispatcher backend executing descriptors on a MealibRuntime. */
+class RuntimeBackend final : public AccelBackend
+{
+  public:
+    /** @p rt must outlive the backend (and be functional for the
+     * results to be real; a cost-only runtime models time/energy but
+     * leaves the output buffers untouched). */
+    explicit RuntimeBackend(runtime::MealibRuntime &rt) : rt_(rt) {}
+
+    const char *name() const override { return "mealib-runtime"; }
+
+    Status execute(const OpDesc &desc) override;
+
+    runtime::MealibRuntime &runtime() { return rt_; }
+
+  private:
+    runtime::MealibRuntime &rt_;
+};
+
+} // namespace mealib::dispatch
+
+#endif // MEALIB_DISPATCH_BACKEND_HH

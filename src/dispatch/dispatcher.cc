@@ -1,0 +1,157 @@
+#include "dispatch/dispatcher.hh"
+
+#include "dispatch/models.hh"
+
+namespace mealib::dispatch {
+
+Dispatcher::Dispatcher() : policy_(std::make_unique<HostOnly>()) {}
+
+Dispatcher::Dispatcher(std::unique_ptr<OffloadPolicy> policy)
+    : policy_(policy ? std::move(policy)
+                     : std::make_unique<HostOnly>())
+{
+}
+
+void
+Dispatcher::setPolicy(std::unique_ptr<OffloadPolicy> policy)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    policy_ = policy ? std::move(policy) : std::make_unique<HostOnly>();
+}
+
+OffloadPolicy &
+Dispatcher::policy()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return *policy_;
+}
+
+void
+Dispatcher::setCostModel(std::shared_ptr<const CostModel> costs)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    costs_ = std::move(costs);
+}
+
+void
+Dispatcher::attachBackend(AccelBackend *backend)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    backend_ = backend;
+}
+
+void
+Dispatcher::detachBackend()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    backend_ = nullptr;
+}
+
+bool
+Dispatcher::hasBackend() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return backend_ != nullptr;
+}
+
+Backend
+Dispatcher::decideLocked(const OpDesc &desc)
+{
+    return policy_->decide(desc, costs_.get());
+}
+
+void
+Dispatcher::run(const OpDesc &desc, const std::function<void()> &hostFn)
+{
+    Backend side;
+    AccelBackend *backend;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        side = decideLocked(desc);
+        backend = backend_;
+
+        OpStats &s = stats_.of(desc.kind);
+        s.calls++;
+        s.flops += desc.flops();
+        s.bytes += desc.bytes();
+        if (side == Backend::Accel)
+            s.accelDecisions++;
+        else
+            s.hostDecisions++;
+    }
+
+    if (side == Backend::Host) {
+        hostFn();
+        return;
+    }
+
+    // Accel decision: pre-execution declines always fall back (nothing
+    // has run yet, so the host path is trivially safe).
+    FallbackReason reason = FallbackReason::None;
+    if (backend == nullptr)
+        reason = FallbackReason::NoBackend;
+    else if (!desc.accelSupported)
+        reason = FallbackReason::Unsupported;
+    else if (!desc.backendMappable)
+        reason = FallbackReason::Unmappable;
+
+    if (reason == FallbackReason::None) {
+        Status st = backend->execute(desc);
+        if (st.ok()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            OpStats &s = stats_.of(desc.kind);
+            s.offloaded++;
+            s.bytesOffloaded += desc.bytes();
+            return;
+        }
+        // The backend may have partially executed; rerunning the host
+        // path is only correct when the op does not read what it
+        // writes (rerunSafe). Otherwise surface the error.
+        if (!desc.rerunSafe) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                OpStats &s = stats_.of(desc.kind);
+                s.fallbacks++;
+                s.fallbackBy[static_cast<std::size_t>(
+                    FallbackReason::BackendError)]++;
+            }
+            throw MealibError(st);
+        }
+        reason = FallbackReason::BackendError;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        OpStats &s = stats_.of(desc.kind);
+        s.fallbacks++;
+        s.fallbackBy[static_cast<std::size_t>(reason)]++;
+    }
+    hostFn();
+}
+
+DispatchStats
+Dispatcher::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+Dispatcher::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DispatchStats{};
+}
+
+Dispatcher &
+Dispatcher::global()
+{
+    static Dispatcher *instance = [] {
+        auto *d = new Dispatcher(policyFromEnv());
+        d->setCostModel(std::make_shared<RooflineCostModel>());
+        return d;
+    }();
+    return *instance;
+}
+
+} // namespace mealib::dispatch

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The dispatch seam (docs/DISPATCH.md).
+ *
+ * Every MKL-compatible entry point, the s2s-rewritten call sites and
+ * the evaluation tools lower their calls into an OpDesc and hand it to
+ * a Dispatcher. The dispatcher asks its OffloadPolicy for a side,
+ * executes — hostFn for the host side, the attached AccelBackend for
+ * the accelerator side — falls back to the host when the backend
+ * declines or fails (when that is safe), and records telemetry.
+ *
+ * The process-wide instance (Dispatcher::global()) is configured from
+ * MEALIB_OFFLOAD_POLICY and defaults to HostOnly with no backend
+ * attached: exactly the legacy behaviour, bit for bit.
+ */
+
+#ifndef MEALIB_DISPATCH_DISPATCHER_HH
+#define MEALIB_DISPATCH_DISPATCHER_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/status.hh"
+#include "dispatch/policy.hh"
+#include "dispatch/telemetry.hh"
+
+namespace mealib::dispatch {
+
+/**
+ * An execution target for accel-decided descriptors. The runtime
+ * backend (dispatch/backend.hh) adapts MealibRuntime; tests plug in
+ * fakes. execute() must either complete the operation with the same
+ * result the host path would produce, or return a non-ok Status having
+ * made no externally visible writes.
+ */
+class AccelBackend
+{
+  public:
+    virtual ~AccelBackend() = default;
+    virtual const char *name() const = 0;
+    virtual Status execute(const OpDesc &desc) = 0;
+};
+
+/** Policy-driven host/accelerator dispatch with telemetry. */
+class Dispatcher
+{
+  public:
+    /** Starts with HostOnly, no cost model, no backend. */
+    Dispatcher();
+    explicit Dispatcher(std::unique_ptr<OffloadPolicy> policy);
+
+    /** Swap the decision policy (null resets to HostOnly). */
+    void setPolicy(std::unique_ptr<OffloadPolicy> policy);
+    OffloadPolicy &policy();
+
+    /** Cost oracle handed to model-driven policies (may be null). */
+    void setCostModel(std::shared_ptr<const CostModel> costs);
+
+    /**
+     * Attach / detach the accelerator backend. Not owned; the caller
+     * must detach before destroying the backend. With no backend, every
+     * accel decision falls back to the host (FallbackReason::NoBackend).
+     */
+    void attachBackend(AccelBackend *backend);
+    void detachBackend();
+    bool hasBackend() const;
+
+    /**
+     * Execute @p desc: ask the policy for a side, then run @p hostFn
+     * (host) or the backend (accel). A declined or failed offload
+     * reruns @p hostFn when @p desc.rerunSafe; otherwise backend
+     * *errors* propagate as MealibError (declines — no backend,
+     * unsupported, unmappable — are detected before any execution and
+     * always fall back).
+     */
+    void run(const OpDesc &desc, const std::function<void()> &hostFn);
+
+    /** Copy of the accumulated telemetry. */
+    DispatchStats snapshot() const;
+    void resetStats();
+
+    /**
+     * The process-wide dispatcher used by the MKL-compatible layer and
+     * dispatch::ops: policy from MEALIB_OFFLOAD_POLICY (read once, at
+     * first use), RooflineCostModel attached, no backend.
+     */
+    static Dispatcher &global();
+
+  private:
+    Backend decideLocked(const OpDesc &desc);
+
+    mutable std::mutex mu_;
+    std::unique_ptr<OffloadPolicy> policy_;
+    std::shared_ptr<const CostModel> costs_;
+    AccelBackend *backend_ = nullptr;
+    DispatchStats stats_;
+};
+
+} // namespace mealib::dispatch
+
+#endif // MEALIB_DISPATCH_DISPATCHER_HH

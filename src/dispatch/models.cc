@@ -1,0 +1,189 @@
+#include "dispatch/models.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "accel/config.hh"
+#include "accel/model.hh"
+#include "common/logging.hh"
+#include "dram/params.hh"
+#include "noc/mesh.hh"
+
+namespace mealib::dispatch {
+
+HostOpProfile
+hostOpProfile(HostKind host, accel::AccelKind kind)
+{
+    using accel::AccelKind;
+    if (host == HostKind::Haswell) {
+        switch (kind) {
+          case AccelKind::AXPY:
+            // Write-allocate turns 3 B/B into 4 B/B of bus traffic;
+            // STREAM-like loops sustain ~60% of the 25.6 GB/s pair.
+            return {4.0 / 3.0, 0.60, 0.9, 0.95};
+          case AccelKind::DOT:
+            // Pure reads, but the reduction and threading sync cost
+            // some steady-state bandwidth.
+            return {1.0, 0.50, 0.9, 0.90};
+          case AccelKind::GEMV:
+            return {1.05, 0.60, 0.9, 0.95};
+          case AccelKind::SPMV:
+            // rgg's vector mostly fits the LLC: traffic is ~the matrix
+            // stream, but the gather-dependent loads cap efficiency.
+            return {0.55, 0.35, 0.3, 0.90};
+          case AccelKind::RESMP:
+            // Windowed-sinc interpolation is compute-bound on the
+            // host: short gather-heavy dots vectorize poorly.
+            return {1.2, 0.60, 0.30, 0.95};
+          case AccelKind::FFT:
+            // Large 2D FFT: multiple blocked passes plus transposes
+            // push traffic to ~2x the accelerator's two-pass scheme.
+            return {2.0, 0.50, 0.35, 0.90};
+          case AccelKind::RESHP:
+            // Strided writes use a fraction of each cache line;
+            // blocked MKL recovers some locality but efficiency stays
+            // low — hence the paper's largest gain (88x).
+            return {1.5, 0.20, 1.0, 0.90};
+          default:
+            panic("hostOpProfile: bad kind");
+        }
+    }
+    // The paper observes (Sec. 5.1) that Xeon Phi barely beats — and
+    // often trails — Haswell on these data sets: per-op efficiencies on
+    // the 320 GB/s card are poor (60 in-order cores need far more
+    // parallel slack than these kernels expose). Factors calibrated to
+    // the paper's observations: AXPY 2.23x over Haswell, RESHP 0.024x.
+    switch (kind) {
+      case AccelKind::AXPY:
+        return {4.0 / 3.0, 0.11, 0.5, 0.98};
+      case AccelKind::DOT:
+        return {1.0, 0.075, 0.5, 0.95};
+      case AccelKind::GEMV:
+        return {1.05, 0.06, 0.5, 0.95};
+      case AccelKind::SPMV:
+        return {0.55, 0.022, 0.2, 0.90};
+      case AccelKind::RESMP:
+        return {1.2, 0.30, 0.012, 0.95};
+      case AccelKind::FFT:
+        return {2.0, 0.065, 0.2, 0.90};
+      case AccelKind::RESHP:
+        // In-place strided transpose is pathological on the ring-based
+        // in-order card: the paper measures 2.4% of Haswell.
+        return {1.5, 0.00045, 1.0, 0.90};
+      default:
+        panic("hostOpProfile: bad kind");
+    }
+}
+
+host::KernelProfile
+hostKernelProfile(HostKind host, const accel::OpCall &call,
+                  const accel::LoopSpec &loop)
+{
+    HostOpProfile p = hostOpProfile(host, call.kind);
+    double iters = static_cast<double>(loop.iterations());
+
+    host::KernelProfile k;
+    k.name = accel::name(call.kind);
+    k.flops = call.flops() * iters;
+    // Reuse-aware traffic: loop dimensions with zero operand stride hit
+    // the host's caches, symmetric with the accelerator-side modeling.
+    double traffic =
+        accel::loopedTrafficBytes(call, loop) * p.trafficFactor;
+    k.bytesRead = traffic * 0.75;
+    k.bytesWritten = traffic * 0.25;
+    k.simdEff = p.simdEff;
+    // Short vectors leave the SIMD pipeline mostly empty (ramp-up,
+    // horizontal reductions): the 36-element STAP dots reach a fraction
+    // of the streaming kernels' issue efficiency.
+    if (call.n < 256)
+        k.simdEff *= 0.4;
+    k.memEff = p.memEff;
+    k.parallelFraction = p.parallelFraction;
+    // Library call dispatch + thread wakeup; heavier on the Phi.
+    k.callOverheads = host == HostKind::XeonPhi ? 100e-6 : 5e-6;
+    return k;
+}
+
+RooflineCostModel::RooflineCostModel() : cpu_(host::haswell4770k()) {}
+
+RooflineCostModel::Key
+RooflineCostModel::keyOf(const OpDesc &desc)
+{
+    return {static_cast<std::uint8_t>(desc.kind), desc.call.n,
+            desc.call.m, desc.call.k, desc.call.complexData,
+            desc.loop.iterations()};
+}
+
+double
+RooflineCostModel::hostSeconds(const OpDesc &desc) const
+{
+    Key key = keyOf(desc);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = hostCache_.find(key);
+        if (it != hostCache_.end())
+            return it->second;
+    }
+
+    host::KernelProfile p;
+    if (accelerable(desc.kind)) {
+        p = hostKernelProfile(HostKind::Haswell, desc.call, desc.loop);
+    } else {
+        // Host-only kinds (GEMM, HERK, TRSM, SCAL, COPY): build a
+        // generic profile from the descriptor's flop/byte overrides.
+        // Efficiencies are MKL-level-3-ish; these kinds are only ever
+        // priced so the policy can confirm they stay on the host.
+        p.name = name(desc.kind);
+        p.flops = desc.flops();
+        double traffic = desc.bytes();
+        p.bytesRead = traffic * 0.75;
+        p.bytesWritten = traffic * 0.25;
+        p.simdEff = 0.8;
+        p.memEff = 0.6;
+        p.parallelFraction = 0.95;
+        p.callOverheads = 5e-6;
+    }
+    double s = cpu_.run(p).seconds;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    hostCache_.emplace(key, s);
+    return s;
+}
+
+double
+RooflineCostModel::accelSeconds(const OpDesc &desc) const
+{
+    if (!desc.accelSupported || !accelerable(desc.kind))
+        return std::numeric_limits<double>::infinity();
+
+    Key key = keyOf(desc);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = accelCache_.find(key);
+        if (it != accelCache_.end())
+            return it->second;
+    }
+
+    accel::AccelKind kind = accelKindOf(desc.kind);
+    accel::AccelModel model(kind, accel::defaultConfig(kind),
+                            dram::hmcStack(), noc::mealibMesh());
+    accel::AccelEstimate e = model.estimate(desc.call, desc.loop);
+    // Invocation overhead: the host must flush the input footprint out
+    // of its caches before the memory-side units read DRAM directly,
+    // then copy the descriptor and ring the START doorbell.
+    double inputs = desc.call.inputBytes() *
+                    static_cast<double>(desc.loop.iterations());
+    // Loop reuse keeps the footprint smaller than inputs x iterations;
+    // never flush more than the reuse-aware traffic of the whole plan.
+    inputs = std::min(inputs, accel::loopedTrafficBytes(desc.call,
+                                                        desc.loop));
+    double flush =
+        cpu_.flushCost(static_cast<std::uint64_t>(inputs)).seconds;
+    double s = e.total.seconds + flush + kHandshakeSeconds;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    accelCache_.emplace(key, s);
+    return s;
+}
+
+} // namespace mealib::dispatch

@@ -1,0 +1,152 @@
+#include "dispatch/telemetry.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace mealib::dispatch {
+
+const char *
+name(FallbackReason reason)
+{
+    switch (reason) {
+      case FallbackReason::None:
+        return "none";
+      case FallbackReason::NoBackend:
+        return "no_backend";
+      case FallbackReason::Unsupported:
+        return "unsupported";
+      case FallbackReason::Unmappable:
+        return "unmappable";
+      case FallbackReason::BackendError:
+        return "backend_error";
+      default:
+        panic("name: bad FallbackReason");
+    }
+}
+
+std::uint64_t
+DispatchStats::totalCalls() const
+{
+    std::uint64_t t = 0;
+    for (const OpStats &s : byKind)
+        t += s.calls;
+    return t;
+}
+
+std::uint64_t
+DispatchStats::totalOffloaded() const
+{
+    std::uint64_t t = 0;
+    for (const OpStats &s : byKind)
+        t += s.offloaded;
+    return t;
+}
+
+std::uint64_t
+DispatchStats::totalAccelDecisions() const
+{
+    std::uint64_t t = 0;
+    for (const OpStats &s : byKind)
+        t += s.accelDecisions;
+    return t;
+}
+
+double
+DispatchStats::totalBytes() const
+{
+    double t = 0.0;
+    for (const OpStats &s : byKind)
+        t += s.bytes;
+    return t;
+}
+
+double
+DispatchStats::totalBytesOffloaded() const
+{
+    double t = 0.0;
+    for (const OpStats &s : byKind)
+        t += s.bytesOffloaded;
+    return t;
+}
+
+double
+DispatchStats::offloadRatio() const
+{
+    std::uint64_t calls = totalCalls();
+    return calls > 0 ? static_cast<double>(totalAccelDecisions()) /
+                           static_cast<double>(calls)
+                     : 0.0;
+}
+
+double
+DispatchStats::byteOffloadRatio() const
+{
+    double bytes = totalBytes();
+    return bytes > 0.0 ? totalBytesOffloaded() / bytes : 0.0;
+}
+
+namespace {
+
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+std::string
+u64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+std::string
+DispatchStats::toJson(const std::string &policyName) const
+{
+    std::string out = "{\n";
+    out += "  \"policy\": \"" + policyName + "\",\n";
+    out += "  \"calls\": " + u64(totalCalls()) + ",\n";
+    out += "  \"accel_decisions\": " + u64(totalAccelDecisions()) + ",\n";
+    out += "  \"offloaded\": " + u64(totalOffloaded()) + ",\n";
+    out += "  \"offload_ratio\": " + num(offloadRatio()) + ",\n";
+    out += "  \"bytes\": " + num(totalBytes()) + ",\n";
+    out += "  \"bytes_offloaded\": " + num(totalBytesOffloaded()) + ",\n";
+    out += "  \"byte_offload_ratio\": " + num(byteOffloadRatio()) + ",\n";
+    out += "  \"ops\": [\n";
+    bool first = true;
+    for (std::size_t k = 0; k < byKind.size(); ++k) {
+        const OpStats &s = byKind[k];
+        if (s.calls == 0)
+            continue;
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "    {\"kind\": \"" +
+               std::string(name(static_cast<OpKind>(k))) + "\"";
+        out += ", \"calls\": " + u64(s.calls);
+        out += ", \"host_decisions\": " + u64(s.hostDecisions);
+        out += ", \"accel_decisions\": " + u64(s.accelDecisions);
+        out += ", \"offloaded\": " + u64(s.offloaded);
+        out += ", \"fallbacks\": " + u64(s.fallbacks);
+        out += ", \"flops\": " + num(s.flops);
+        out += ", \"bytes\": " + num(s.bytes);
+        out += ", \"bytes_offloaded\": " + num(s.bytesOffloaded);
+        for (std::size_t r = 1;
+             r < static_cast<std::size_t>(FallbackReason::kCount); ++r) {
+            if (s.fallbackBy[r] == 0)
+                continue;
+            out += ", \"fallback_" +
+                   std::string(name(static_cast<FallbackReason>(r))) +
+                   "\": " + u64(s.fallbackBy[r]);
+        }
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace mealib::dispatch

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "dispatch/models.hh"
 #include "noc/mesh.hh"
 
 namespace mealib::eval {
@@ -103,122 +104,18 @@ table2Workload(AccelKind kind, double scale)
     return w;
 }
 
-namespace {
-
-/**
- * Per-operation host execution efficiencies. These substitute for the
- * paper's native measurement (we have no i7-4770K/RAPL); each factor is
- * justified below and the resulting Fig. 9/10 ratios are validated
- * against the paper's bands in EXPERIMENTS.md.
- */
-struct HostOpProfile
-{
-    double trafficFactor; //!< host DRAM traffic vs. accelerator traffic
-    double memEff;        //!< fraction of peak bandwidth sustained
-    double simdEff;       //!< fraction of peak issue sustained
-    double parallelFraction;
-};
-
-HostOpProfile
-haswellProfile(AccelKind kind)
-{
-    switch (kind) {
-      case AccelKind::AXPY:
-        // Write-allocate turns 3 B/B into 4 B/B of bus traffic; STREAM
-        // -like loops sustain ~60% of the 25.6 GB/s channel pair.
-        return {4.0 / 3.0, 0.60, 0.9, 0.95};
-      case AccelKind::DOT:
-        // Pure reads, but the reduction and threading sync cost some
-        // steady-state bandwidth.
-        return {1.0, 0.50, 0.9, 0.90};
-      case AccelKind::GEMV:
-        return {1.05, 0.60, 0.9, 0.95};
-      case AccelKind::SPMV:
-        // rgg's vector mostly fits the LLC: traffic is ~the matrix
-        // stream, but the gather-dependent loads cap efficiency.
-        return {0.55, 0.35, 0.3, 0.90};
-      case AccelKind::RESMP:
-        // Windowed-sinc interpolation is compute-bound on the host:
-        // short gather-heavy dot products vectorize poorly.
-        return {1.2, 0.60, 0.30, 0.95};
-      case AccelKind::FFT:
-        // Large 2D FFT: multiple blocked passes plus transposes push
-        // traffic to ~2x the accelerator's two-pass scheme.
-        return {2.0, 0.50, 0.35, 0.90};
-      case AccelKind::RESHP:
-        // Strided writes use a fraction of each cache line; blocked MKL
-        // recovers some locality but efficiency stays low, which is why
-        // RESHP shows the paper's largest gain (88x).
-        return {1.5, 0.20, 1.0, 0.90};
-      default:
-        panic("haswellProfile: bad kind");
-    }
-}
-
-HostOpProfile
-phiProfile(AccelKind kind)
-{
-    // The paper observes (Sec. 5.1) that Xeon Phi barely beats — and
-    // often trails — Haswell on these data sets: per-op efficiencies on
-    // the 320 GB/s card are poor (60 in-order cores need far more
-    // parallel slack than these kernels expose). Factors calibrated to
-    // the paper's observations: AXPY 2.23x over Haswell, RESHP 0.024x.
-    switch (kind) {
-      case AccelKind::AXPY:
-        return {4.0 / 3.0, 0.11, 0.5, 0.98};
-      case AccelKind::DOT:
-        return {1.0, 0.075, 0.5, 0.95};
-      case AccelKind::GEMV:
-        return {1.05, 0.06, 0.5, 0.95};
-      case AccelKind::SPMV:
-        return {0.55, 0.022, 0.2, 0.90};
-      case AccelKind::RESMP:
-        return {1.2, 0.30, 0.012, 0.95};
-      case AccelKind::FFT:
-        return {2.0, 0.065, 0.2, 0.90};
-      case AccelKind::RESHP:
-        // In-place strided transpose is pathological on the ring-based
-        // in-order card: the paper measures 2.4% of Haswell.
-        return {1.5, 0.00045, 1.0, 0.90};
-      default:
-        panic("phiProfile: bad kind");
-    }
-}
-
-} // namespace
-
 host::KernelProfile
 hostProfile(Platform platform, const OpCall &call, const LoopSpec &loop)
 {
     fatalIf(platform != Platform::HaswellMkl &&
                 platform != Platform::XeonPhiMkl,
             "hostProfile: not a host platform");
-    HostOpProfile p = platform == Platform::HaswellMkl
-                          ? haswellProfile(call.kind)
-                          : phiProfile(call.kind);
-    double iters = static_cast<double>(loop.iterations());
-
-    host::KernelProfile k;
-    k.name = accel::name(call.kind);
-    k.flops = call.flops() * iters;
-    // Reuse-aware traffic: loop dimensions with zero operand stride hit
-    // the host's caches, symmetric with the accelerator-side modeling.
-    double traffic =
-        accel::loopedTrafficBytes(call, loop) * p.trafficFactor;
-    k.bytesRead = traffic * 0.75;
-    k.bytesWritten = traffic * 0.25;
-    k.simdEff = p.simdEff;
-    // Short vectors leave the SIMD pipeline mostly empty (ramp-up,
-    // horizontal reductions): the 36-element STAP dots reach a fraction
-    // of the streaming kernels' issue efficiency.
-    if (call.n < 256)
-        k.simdEff *= 0.4;
-    k.memEff = p.memEff;
-    k.parallelFraction = p.parallelFraction;
-    // Library call dispatch + thread wakeup; heavier on the Phi.
-    k.callOverheads =
-        platform == Platform::XeonPhiMkl ? 100e-6 : 5e-6;
-    return k;
+    // The per-op efficiency tables moved to dispatch/models.cc so the
+    // offload policies and the eval layer price hosts identically.
+    return dispatch::hostKernelProfile(
+        platform == Platform::HaswellMkl ? dispatch::HostKind::Haswell
+                                         : dispatch::HostKind::XeonPhi,
+        call, loop);
 }
 
 OpResult
@@ -266,12 +163,17 @@ evaluateOp(Platform platform, const Workload &w)
     }
 }
 
-OpResult
-evaluateOpSharded(const Workload &w, runtime::MealibRuntime &rt)
+Status
+evaluateOpSharded(const Workload &w, runtime::MealibRuntime &rt,
+                  OpResult *out)
 {
-    fatalIf(rt.layer().functional(),
+    fatalIf(out == nullptr, "evaluateOpSharded: null result pointer");
+    if (rt.layer().functional())
+        return Status::error(
+            ErrorCode::InvalidArgument,
             "evaluateOpSharded: needs a cost-only runtime "
-            "(RuntimeConfig::functional = false)");
+            "(RuntimeConfig::functional = false); the synthetic operand "
+            "placement would execute on unrelated arena bytes");
     const unsigned stacks = rt.numStacks();
     const std::uint32_t outer = w.loop.dims[0];
     const unsigned shards = std::min<unsigned>(
@@ -325,7 +227,8 @@ evaluateOpSharded(const Workload &w, runtime::MealibRuntime &rt)
     r.cost.joules = rt.accounting().total().joules - total0.joules;
     for (runtime::AccPlanHandle h : handles)
         rt.accDestroy(h);
-    return r;
+    *out = r;
+    return Status();
 }
 
 } // namespace mealib::eval

@@ -17,6 +17,7 @@
 
 #include "accel/model.hh"
 #include "accel/ops.hh"
+#include "common/status.hh"
 #include "common/units.hh"
 #include "host/cpu.hh"
 #include "runtime/runtime.hh"
@@ -99,10 +100,12 @@ OpResult evaluateOp(Platform platform, const Workload &workload);
  * seconds are the overlap-aware makespan of the fan-out (joules are the
  * sum — energy does not overlap away). Requires a cost-only runtime
  * (RuntimeConfig::functional = false): the Table-2 operand sizes exceed
- * the functional arena.
+ * the functional arena. Returns InvalidArgument (and leaves @p out
+ * untouched) for a functional runtime instead of executing descriptors
+ * over unrelated arena bytes.
  */
-OpResult evaluateOpSharded(const Workload &workload,
-                           runtime::MealibRuntime &rt);
+Status evaluateOpSharded(const Workload &workload,
+                         runtime::MealibRuntime &rt, OpResult *out);
 
 /**
  * Host-side execution profile of @p call on @p platform (HaswellMkl or

@@ -43,14 +43,17 @@ sgemv(Order order, Transpose trans, std::int64_t m, std::int64_t n,
       std::int64_t incx, float beta, float *y, std::int64_t incy)
 {
     fatalIf(m < 0 || n < 0, "sgemv: negative dimension");
-    fatalIf(incx == 0 || incy == 0, "sgemv: zero stride");
+    fatalIf(incy == 0, "sgemv: zero stride");
+    // A and x are unused when alpha == 0 (and may be null, matching the
+    // saxpby leniency): validate incx only when x is actually walked.
+    fatalIf(alpha != 0.0f && incx == 0, "sgemv: zero stride");
     if (m == 0 || n == 0)
         return;
 
     // Storage rows/cols as laid out (row-major view of the buffer).
     std::int64_t srows = order == Order::RowMajor ? m : n;
     std::int64_t scols = order == Order::RowMajor ? n : m;
-    fatalIf(lda < scols, "sgemv: lda too small");
+    fatalIf(alpha != 0.0f && lda < scols, "sgemv: lda too small");
 
     Canon c = canonicalize(order, trans, srows, scols);
     std::int64_t ylen = c.rows;
@@ -120,13 +123,15 @@ cgemv(Order order, Transpose trans, std::int64_t m, std::int64_t n,
       std::int64_t incx, cfloat beta, cfloat *y, std::int64_t incy)
 {
     fatalIf(m < 0 || n < 0, "cgemv: negative dimension");
-    fatalIf(incx == 0 || incy == 0, "cgemv: zero stride");
+    fatalIf(incy == 0, "cgemv: zero stride");
+    // Same leniency as sgemv: A and x are untouched when alpha == 0.
+    fatalIf(alpha != cfloat{} && incx == 0, "cgemv: zero stride");
     if (m == 0 || n == 0)
         return;
 
     std::int64_t srows = order == Order::RowMajor ? m : n;
     std::int64_t scols = order == Order::RowMajor ? n : m;
-    fatalIf(lda < scols, "cgemv: lda too small");
+    fatalIf(alpha != cfloat{} && lda < scols, "cgemv: lda too small");
 
     Canon c = canonicalize(order, trans, srows, scols);
     std::int64_t ylen = c.rows;

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "dispatch/dispatcher.hh"
+#include "dispatch/opdesc.hh"
 #include "minimkl/blas1.hh"
 #include "minimkl/blas2.hh"
 #include "minimkl/blas3.hh"
@@ -12,6 +14,7 @@
 #include "minimkl/transpose.hh"
 
 namespace mkl = mealib::mkl;
+namespace dsp = mealib::dispatch;
 
 namespace {
 
@@ -39,51 +42,67 @@ cf(void *p)
     return static_cast<mkl::cfloat *>(p);
 }
 
+/** The one seam every shim dispatches through. */
+void
+run(const dsp::OpDesc &desc, const std::function<void()> &hostFn)
+{
+    dsp::Dispatcher::global().run(desc, hostFn);
+}
+
 } // namespace
 
 void
 cblas_saxpy(int n, float a, const float *x, int incx, float *y, int incy)
 {
-    mkl::saxpy(n, a, x, incx, y, incy);
+    run(dsp::lowerSaxpy(n, a, x, incx, y, incy),
+        [&] { mkl::saxpy(n, a, x, incx, y, incy); });
 }
 
 float
 cblas_sdot(int n, const float *x, int incx, const float *y, int incy)
 {
-    return mkl::sdot(n, x, incx, y, incy);
+    float r = 0.0f;
+    run(dsp::lowerSdot(n, x, incx, y, incy, &r),
+        [&] { r = mkl::sdot(n, x, incx, y, incy); });
+    return r;
 }
 
 void
 cblas_sscal(int n, float a, float *x, int incx)
 {
-    mkl::sscal(n, a, x, incx);
+    run(dsp::lowerSscal(n, x, incx),
+        [&] { mkl::sscal(n, a, x, incx); });
 }
 
 void
 cblas_saxpby(int n, float a, const float *x, int incx, float b, float *y,
              int incy)
 {
-    mkl::saxpby(n, a, x, incx, b, y, incy);
+    run(dsp::lowerSaxpby(n, a, x, incx, b, y, incy),
+        [&] { mkl::saxpby(n, a, x, incx, b, y, incy); });
 }
 
 void
 cblas_scopy(int n, const float *x, int incx, float *y, int incy)
 {
-    mkl::scopy(n, x, incx, y, incy);
+    run(dsp::lowerScopy(n, x, incx, y, incy),
+        [&] { mkl::scopy(n, x, incx, y, incy); });
 }
 
 void
 cblas_cdotc_sub(int n, const void *x, int incx, const void *y, int incy,
                 void *dotc)
 {
-    *cf(dotc) = mkl::cdotc(n, cf(x), incx, cf(y), incy);
+    run(dsp::lowerCdotc(n, cf(x), incx, cf(y), incy, cf(dotc)),
+        [&] { *cf(dotc) = mkl::cdotc(n, cf(x), incx, cf(y), incy); });
 }
 
 void
 cblas_caxpy(int n, const void *a, const void *x, int incx, void *y,
             int incy)
 {
-    mkl::caxpy(n, *cf(a), cf(x), incx, cf(y), incy);
+    run(dsp::lowerCaxpy(n, *cf(a), cf(x), incx, cf(y), incy),
+        [&] { mkl::caxpy(n, *cf(a), cf(x), incx, cf(y), incy); });
 }
 
 void
@@ -91,8 +110,12 @@ cblas_sgemv(CBLAS_LAYOUT layout, CBLAS_TRANSPOSE trans, int m, int n,
             float alpha, const float *a, int lda, const float *x, int incx,
             float beta, float *y, int incy)
 {
-    mkl::sgemv(toOrder(layout), toTrans(trans), m, n, alpha, a, lda, x,
-               incx, beta, y, incy);
+    run(dsp::lowerSgemv(toOrder(layout), toTrans(trans), m, n, alpha, a,
+                        lda, x, incx, beta, y, incy),
+        [&] {
+            mkl::sgemv(toOrder(layout), toTrans(trans), m, n, alpha, a,
+                       lda, x, incx, beta, y, incy);
+        });
 }
 
 void
@@ -101,8 +124,10 @@ cblas_sgemm(CBLAS_LAYOUT layout, CBLAS_TRANSPOSE transa,
             const float *a, int lda, const float *b, int ldb, float beta,
             float *c, int ldc)
 {
-    mkl::sgemm(toOrder(layout), toTrans(transa), toTrans(transb), m, n, k,
-               alpha, a, lda, b, ldb, beta, c, ldc);
+    run(dsp::lowerSgemm(m, n, k, a, b, beta, c), [&] {
+        mkl::sgemm(toOrder(layout), toTrans(transa), toTrans(transb), m,
+                   n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    });
 }
 
 void
@@ -110,8 +135,11 @@ cblas_cherk(CBLAS_LAYOUT layout, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
             int n, int k, float alpha, const void *a, int lda, float beta,
             void *c, int ldc)
 {
-    mkl::cherk(toOrder(layout), static_cast<mkl::Uplo>(uplo),
-               toTrans(trans), n, k, alpha, cf(a), lda, beta, cf(c), ldc);
+    run(dsp::lowerCherk(n, k, cf(a), beta, cf(c)), [&] {
+        mkl::cherk(toOrder(layout), static_cast<mkl::Uplo>(uplo),
+                   toTrans(trans), n, k, alpha, cf(a), lda, beta, cf(c),
+                   ldc);
+    });
 }
 
 void
@@ -119,10 +147,12 @@ cblas_ctrsm(CBLAS_LAYOUT layout, CBLAS_SIDE side, CBLAS_UPLO uplo,
             CBLAS_TRANSPOSE trans, CBLAS_DIAG diag, int m, int n,
             const void *alpha, const void *a, int lda, void *b, int ldb)
 {
-    mkl::ctrsm(toOrder(layout), static_cast<mkl::Side>(side),
-               static_cast<mkl::Uplo>(uplo), toTrans(trans),
-               static_cast<mkl::Diag>(diag), m, n, *cf(alpha), cf(a), lda,
-               cf(b), ldb);
+    run(dsp::lowerCtrsm(m, n, cf(a), cf(b)), [&] {
+        mkl::ctrsm(toOrder(layout), static_cast<mkl::Side>(side),
+                   static_cast<mkl::Uplo>(uplo), toTrans(trans),
+                   static_cast<mkl::Diag>(diag), m, n, *cf(alpha), cf(a),
+                   lda, cf(b), ldb);
+    });
 }
 
 void
@@ -141,9 +171,11 @@ mkl_scsrgemv(const char *transa, const int *m, const float *a,
 
     const char t = *transa;
     if (t == 'N' || t == 'n') {
-        mkl::scsrmvRaw1(rows, ia32, ja32, a, x, y);
+        run(dsp::lowerScsrgemv1(rows, a, ia32, ja32, x, y, false),
+            [&] { mkl::scsrmvRaw1(rows, ia32, ja32, a, x, y); });
     } else if (t == 'T' || t == 't') {
-        mkl::scsrmvTransRaw1(rows, ia32, ja32, a, x, y);
+        run(dsp::lowerScsrgemv1(rows, a, ia32, ja32, x, y, true),
+            [&] { mkl::scsrmvTransRaw1(rows, ia32, ja32, a, x, y); });
     } else {
         mealib::fatal("mkl_scsrgemv: bad transa '", t, "'");
     }
@@ -193,11 +225,18 @@ mkl_simatcopy(char ordering, char trans, std::size_t rows,
               std::size_t cols, float alpha, float *ab, std::size_t lda,
               std::size_t ldb)
 {
-    mkl::simatcopy(charOrder(ordering), charTrans(trans),
-                   static_cast<std::int64_t>(rows),
-                   static_cast<std::int64_t>(cols), alpha, ab,
-                   static_cast<std::int64_t>(lda),
-                   static_cast<std::int64_t>(ldb));
+    const auto r = static_cast<std::int64_t>(rows);
+    const auto c = static_cast<std::int64_t>(cols);
+    // Only the square unit-alpha transpose matches the RESHP COMP (the
+    // accelerator's functional path is an in-place imatcopy).
+    const bool mappable =
+        charTrans(trans) == mkl::Transpose::Trans && r == c &&
+        alpha == 1.0f;
+    run(dsp::lowerTranspose(r, c, alpha, ab, ab, false, mappable), [&] {
+        mkl::simatcopy(charOrder(ordering), charTrans(trans), r, c,
+                       alpha, ab, static_cast<std::int64_t>(lda),
+                       static_cast<std::int64_t>(ldb));
+    });
 }
 
 void
@@ -205,11 +244,13 @@ mkl_somatcopy(char ordering, char trans, std::size_t rows,
               std::size_t cols, float alpha, const float *a,
               std::size_t lda, float *b, std::size_t ldb)
 {
-    mkl::somatcopy(charOrder(ordering), charTrans(trans),
-                   static_cast<std::int64_t>(rows),
-                   static_cast<std::int64_t>(cols), alpha, a,
-                   static_cast<std::int64_t>(lda), b,
-                   static_cast<std::int64_t>(ldb));
+    const auto r = static_cast<std::int64_t>(rows);
+    const auto c = static_cast<std::int64_t>(cols);
+    run(dsp::lowerTranspose(r, c, alpha, a, b, false, false), [&] {
+        mkl::somatcopy(charOrder(ordering), charTrans(trans), r, c,
+                       alpha, a, static_cast<std::int64_t>(lda), b,
+                       static_cast<std::int64_t>(ldb));
+    });
 }
 
 int
@@ -217,7 +258,9 @@ dfsInterpolate1D(const float *x, int nx, float *site, int nsite)
 {
     if (x == nullptr || site == nullptr || nx <= 0 || nsite <= 0)
         return -1;
-    mkl::resample1d(x, nx, site, nsite, mkl::InterpKind::Linear);
+    run(dsp::lowerResample(x, nx, site, nsite), [&] {
+        mkl::resample1d(x, nx, site, nsite, mkl::InterpKind::Linear);
+    });
     return 0;
 }
 
@@ -258,7 +301,8 @@ void
 fftwf_execute(const fftwf_plan plan)
 {
     mealib::fatalIf(plan == nullptr, "fftwf_execute: null plan");
-    plan->plan.execute(plan->in, plan->out);
+    run(dsp::lowerFft(plan->plan, plan->in, plan->out),
+        [&] { plan->plan.execute(plan->in, plan->out); });
 }
 
 void

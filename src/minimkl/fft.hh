@@ -82,6 +82,9 @@ class FftPlan
     /** True for rank-0 (pure data motion) plans. */
     bool isCopy() const { return dims_.empty(); }
 
+    /** Transform dimensions (rank 0-2), outermost first. */
+    const std::vector<FftDim> &dims() const { return dims_; }
+
     FftDirection direction() const { return dir_; }
 
   private:

@@ -126,6 +126,17 @@ MealibRuntime::physOf(const void *vptr) const
     return static_cast<Addr>(p - base);
 }
 
+bool
+MealibRuntime::tryPhysOf(const void *vptr, Addr *paddr) const
+{
+    const std::uint8_t *base = mem_->raw(0, 0);
+    const auto *p = static_cast<const std::uint8_t *>(vptr);
+    if (p < base || p >= base + mem_->size())
+        return false;
+    *paddr = static_cast<Addr>(p - base);
+    return true;
+}
+
 void *
 MealibRuntime::virtOf(Addr paddr)
 {

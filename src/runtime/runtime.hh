@@ -188,6 +188,13 @@ class MealibRuntime
      * filling descriptor parameter blocks). */
     Addr physOf(const void *vptr) const;
 
+    /**
+     * Non-fatal physOf: true and *paddr filled when @p vptr lies in
+     * the mapped arena, false otherwise (the dispatch backend uses
+     * this to decline operands not in accelerator memory).
+     */
+    bool tryPhysOf(const void *vptr, Addr *paddr) const;
+
     /** Physical-to-virtual: host pointer for an accelerator address. */
     void *virtOf(Addr paddr);
 

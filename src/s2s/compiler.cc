@@ -500,11 +500,14 @@ class Translator
                 esc += c;
         }
         std::ostringstream os;
+        // Execution goes through mealib_dispatch_execute (the op-IR
+        // dispatcher seam) rather than mealib_acc_execute directly, so
+        // the offload policy decides host vs accelerator per call.
         os << "{ acc_plan __mea_p" << id << " = mealib_acc_plan(\"" << esc
            << "\", (void *)" << (inSym[0] == '$' ? inSym.substr(1) : inSym)
            << ", 0, (void *)"
            << (outSym[0] == '$' ? outSym.substr(1) : outSym)
-           << ", 0); mealib_acc_execute(__mea_p" << id
+           << ", 0); mealib_dispatch_execute(__mea_p" << id
            << "); mealib_acc_destroy(__mea_p" << id << "); }";
         return os.str();
     }

@@ -1,6 +1,7 @@
 // Tests for Level-2 BLAS against naive oracles across layout/trans
 // combinations.
 
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -113,6 +114,58 @@ TEST(Sgemv, BetaZeroOverwritesNaNs)
           x.data(), 1, 0.0f, y.data(), 1);
     EXPECT_FLOAT_EQ(y[0], 2.0f);
     EXPECT_FLOAT_EQ(y[1], 3.0f);
+}
+
+TEST(Sgemv, BetaZeroOverwritesNaNsTransposed)
+{
+    // The column-wise walk must not read y under beta == 0 either.
+    std::vector<float> a{1, 2, 3, 4}; // [[1,2],[3,4]]
+    std::vector<float> x{1, 1};
+    std::vector<float> y{std::nanf(""), std::nanf("")};
+    sgemv(Order::RowMajor, Transpose::Trans, 2, 2, 1.0f, a.data(), 2,
+          x.data(), 1, 0.0f, y.data(), 1);
+    EXPECT_FLOAT_EQ(y[0], 4.0f);
+    EXPECT_FLOAT_EQ(y[1], 6.0f);
+}
+
+TEST(Sgemv, AlphaZeroToleratesNullMatrixAndX)
+{
+    // alpha == 0 never touches A or x: null pointers, zero incx and a
+    // bogus lda must all be accepted (mirrors the saxpby leniency).
+    std::vector<float> y{2.0f, 4.0f};
+    sgemv(Order::RowMajor, Transpose::NoTrans, 2, 2, 0.0f, nullptr, 0,
+          nullptr, 0, 0.5f, y.data(), 1);
+    EXPECT_FLOAT_EQ(y[0], 1.0f);
+    EXPECT_FLOAT_EQ(y[1], 2.0f);
+}
+
+TEST(Sgemv, AlphaZeroBetaZeroWritesZeros)
+{
+    std::vector<float> y{std::nanf(""), std::nanf("")};
+    sgemv(Order::RowMajor, Transpose::NoTrans, 2, 2, 0.0f, nullptr, 0,
+          nullptr, 0, 0.0f, y.data(), 1);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+}
+
+TEST(Cgemv, BetaZeroOverwritesNaNs)
+{
+    std::vector<cfloat> a{{1, 0}};
+    std::vector<cfloat> x{{3, -2}};
+    std::vector<cfloat> y{{std::nanf(""), std::nanf("")}};
+    cgemv(Order::RowMajor, Transpose::NoTrans, 1, 1, {1, 0}, a.data(),
+          1, x.data(), 1, {0, 0}, y.data(), 1);
+    EXPECT_FLOAT_EQ(y[0].real(), 3.0f);
+    EXPECT_FLOAT_EQ(y[0].imag(), -2.0f);
+}
+
+TEST(Cgemv, AlphaZeroToleratesNullMatrixAndX)
+{
+    std::vector<cfloat> y{{2, 2}};
+    cgemv(Order::RowMajor, Transpose::NoTrans, 1, 1, {0, 0}, nullptr, 0,
+          nullptr, 0, {0.5f, 0}, y.data(), 1);
+    EXPECT_FLOAT_EQ(y[0].real(), 1.0f);
+    EXPECT_FLOAT_EQ(y[0].imag(), 1.0f);
 }
 
 TEST(Sgemv, StridedVectors)

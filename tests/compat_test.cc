@@ -1,6 +1,7 @@
 // Tests for the MKL/CBLAS/FFTW-named compatibility shims — the exact
 // entry points the paper's legacy applications call (Table 1, Listing 1).
 
+#include <cmath>
 #include <complex>
 #include <vector>
 
@@ -97,6 +98,28 @@ TEST(MklShims, ScsrgemvTranspose)
                  y.data());
     EXPECT_FLOAT_EQ(y[0], 3.0f); // column 0: 2 + 1
     EXPECT_FLOAT_EQ(y[1], 3.0f); // column 1: 3
+}
+
+TEST(MklShims, ScsrgemvOverwritesPoisonedOutput)
+{
+    // Implicit beta == 0: y must be a pure write, never read, in both
+    // the direct and the transposed walk.
+    std::vector<float> vals{2.0f, 1.0f, 3.0f};
+    std::vector<int> ia{1, 2, 4};
+    std::vector<int> ja{1, 1, 2};
+    std::vector<float> x{10.0f, 100.0f};
+    std::vector<float> y{std::nanf(""), std::nanf("")};
+    int m = 2;
+    mkl_scsrgemv("N", &m, vals.data(), ia.data(), ja.data(), x.data(),
+                 y.data());
+    EXPECT_FLOAT_EQ(y[0], 20.0f);
+    EXPECT_FLOAT_EQ(y[1], 310.0f);
+
+    y.assign({std::nanf(""), std::nanf("")});
+    mkl_scsrgemv("T", &m, vals.data(), ia.data(), ja.data(), x.data(),
+                 y.data());
+    EXPECT_FLOAT_EQ(y[0], 2.0f * 10.0f + 1.0f * 100.0f);
+    EXPECT_FLOAT_EQ(y[1], 3.0f * 100.0f);
 }
 
 TEST(MklShims, SimatcopyTransposesInPlace)

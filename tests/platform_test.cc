@@ -208,12 +208,14 @@ TEST(Eval, ShardedEvaluationOverlapsAcrossStacks)
     runtime::RuntimeConfig one;
     one.functional = false;
     runtime::MealibRuntime rt1(one);
-    OpResult r1 = evaluateOpSharded(w, rt1);
+    OpResult r1;
+    ASSERT_TRUE(evaluateOpSharded(w, rt1, &r1).ok());
 
     runtime::RuntimeConfig four = one;
     four.numStacks = 4;
     runtime::MealibRuntime rt4(four);
-    OpResult r4 = evaluateOpSharded(w, rt4);
+    OpResult r4;
+    ASSERT_TRUE(evaluateOpSharded(w, rt4, &r4).ok());
 
     EXPECT_GT(r1.cost.seconds, 0.0);
     EXPECT_LT(r4.cost.seconds, r1.cost.seconds);
@@ -223,9 +225,16 @@ TEST(Eval, ShardedEvaluationOverlapsAcrossStacks)
 
 TEST(Eval, ShardedEvaluationRequiresCostOnlyRuntime)
 {
+    // A functional runtime must be rejected with a recoverable error,
+    // not a fatal: callers probing configurations can fall back.
     Workload w = table2Workload(AccelKind::AXPY, kScale);
     runtime::MealibRuntime rt{runtime::RuntimeConfig{}}; // functional
-    EXPECT_THROW(evaluateOpSharded(w, rt), FatalError);
+    OpResult r;
+    r.flops = -1.0;
+    Status st = evaluateOpSharded(w, rt, &r);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(r.flops, -1.0) << "result must be untouched on error";
 }
 
 } // namespace

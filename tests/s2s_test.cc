@@ -59,7 +59,7 @@ TEST(Translate, BareSaxpyBecomesPlan)
     EXPECT_EQ(r.plansEmitted, 1u);
     EXPECT_NE(r.tdl.find("COMP(acc=AXPY"), std::string::npos);
     EXPECT_NE(r.source.find("mealib_acc_plan"), std::string::npos);
-    EXPECT_NE(r.source.find("mealib_acc_execute"), std::string::npos);
+    EXPECT_NE(r.source.find("mealib_dispatch_execute"), std::string::npos);
     EXPECT_NE(r.source.find("mealib_acc_destroy"), std::string::npos);
     EXPECT_EQ(r.source.find("cblas_saxpy"), std::string::npos);
     // Parameter file carries the literal n and symbolic buffers.
@@ -299,6 +299,36 @@ TEST(Translate, MultipleSitesKeepSourceOrder)
     ASSERT_NE(reshp, std::string::npos);
     EXPECT_LT(dot, reshp);
     EXPECT_EQ(r.plansEmitted, 2u);
+}
+
+TEST(Translate, StapPipelineExecutesViaDispatcher)
+{
+    // Every rewritten call site in a STAP-like pipeline (corner turn +
+    // Doppler FFT chain, beamform dot products, residual AXPY) must
+    // execute through the dispatcher seam, never the raw runtime entry.
+    const char *src = R"(
+plan_ct = fftwf_plan_guru_dft(0, NULL, 3, howmany_dims_ct,
+    datacube, datacube_pulse_major, FFTW_FORWARD, FFTW_WISDOM_ONLY);
+plan_fft = fftwf_plan_guru_dft(1, dims, 2, howmany_dims,
+    datacube_pulse_major, datacube_doppler_major, FFTW_FORWARD,
+    FFTW_WISDOM_ONLY);
+fftwf_execute(plan_ct);
+fftwf_execute(plan_fft);
+cblas_cdotc_sub(256, steer, 1, snap, 1, &gamma);
+cblas_caxpy(256, &alpha, weights, 1, out, 1);
+)";
+    TranslationResult r = translate(src);
+    EXPECT_EQ(r.plansEmitted, 3u); // chained FFT pass + cdotc + caxpy
+
+    // Each emitted plan pairs with exactly one dispatcher execute, and
+    // the pre-dispatch runtime symbol is gone from the rewritten source.
+    std::size_t execs = 0;
+    for (std::size_t at = r.source.find("mealib_dispatch_execute");
+         at != std::string::npos;
+         at = r.source.find("mealib_dispatch_execute", at + 1))
+        ++execs;
+    EXPECT_EQ(execs, 3u);
+    EXPECT_EQ(r.source.find("mealib_acc_execute"), std::string::npos);
 }
 
 } // namespace

@@ -8,7 +8,8 @@
  *              [--stacks=N] [--queue-depth=N] [--scheduler=P]
  *              [--repeat=N] [--fault-seed=S] [--fault-rate=R]
  *              [--fail-stack=S[@N]] [--watchdog-us=T]
- *              [--max-retries=K]
+ *              [--max-retries=K] [--offload-policy=P]
+ *              [--dispatch-json=PATH]
  *
  * Parameter files referenced by COMP blocks are loaded from --params
  * (default: the TDL file's directory). `$symbol` placeholders are
@@ -33,17 +34,34 @@
  * --max-retries bounds the retry ladder before host fallback. The
  * summary then adds a degraded-mode line (retries, fallbacks, watchdog
  * fires, corrected ECC events).
+ *
+ * --offload-policy=P (host | accel | crossover | calibrated) routes
+ * every COMP of the program through the op-IR dispatcher
+ * (docs/DISPATCH.md) instead of executing the plan wholesale: the
+ * policy decides per call whether the functional result is produced by
+ * a host-priced execution or an accelerator submission, and the summary
+ * gains a dispatch line. --dispatch-json=PATH writes the per-kind
+ * telemetry (calls, decisions, fallbacks, bytes) as JSON; it implies
+ * the dispatcher with the host policy when --offload-policy is absent.
+ * Without either flag the legacy wholesale path runs untouched.
  */
 
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "accel/descriptor.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "dispatch/backend.hh"
+#include "dispatch/dispatcher.hh"
+#include "dispatch/models.hh"
+#include "dispatch/policy.hh"
+#include "dram/stack.hh"
 #include "runtime/runtime.hh"
 #include "s2s/compiler.hh"
 #include "tdl/codegen.hh"
@@ -89,6 +107,119 @@ parseBindings(const std::string &spec)
         out[part.substr(0, eq)] = v;
     }
     return out;
+}
+
+/**
+ * Per-COMP dispatch execution (--offload-policy / --dispatch-json):
+ * every COMP of @p prog — paired with its enclosing LOOP, if any —
+ * lowers into an OpDesc and runs through a Dispatcher backed by the
+ * runtime. Host decisions keep the functional result (the shared
+ * functional engine computes it, as the fault-fallback path does) but
+ * are priced as native host execution; accel decisions submit through
+ * the asynchronous queue engine.
+ */
+int
+runDispatched(runtime::MealibRuntime &rt,
+              const runtime::RuntimeConfig &cfg,
+              const accel::DescriptorProgram &prog, std::uint64_t repeat,
+              const std::string &policyName, const std::string &jsonPath)
+{
+    auto policy = dispatch::makePolicy(policyName);
+    fatalIf(policy == nullptr, "--offload-policy '", policyName,
+            "' is not host|accel|crossover|calibrated");
+    dispatch::Dispatcher disp(std::move(policy));
+    disp.setCostModel(std::make_shared<dispatch::RooflineCostModel>());
+    dispatch::RuntimeBackend backend(rt);
+    disp.attachBackend(&backend);
+
+    struct Unit
+    {
+        accel::OpCall call;
+        accel::LoopSpec loop;
+    };
+    std::vector<Unit> units;
+    for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+        const accel::Instr &in = prog.instrs[i];
+        if (in.type == accel::Instr::Type::Comp) {
+            units.push_back({in.call, accel::LoopSpec{}});
+        } else if (in.type == accel::Instr::Type::Loop) {
+            for (std::size_t j = i + 1;
+                 j <= i + in.bodyCount && j < prog.instrs.size(); ++j)
+                if (prog.instrs[j].type == accel::Instr::Type::Comp)
+                    units.push_back({prog.instrs[j].call, in.loop});
+            i += in.bodyCount;
+        }
+    }
+
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        for (const Unit &u : units) {
+            dispatch::OpDesc d =
+                dispatch::opDescFromCall(u.call, u.loop);
+            disp.run(d, [&] {
+                if (cfg.functional) {
+                    accel::DescriptorProgram up;
+                    if (u.loop.iterations() > 1)
+                        up.addLoop(u.loop, 2);
+                    up.addComp(u.call);
+                    up.addPassEnd();
+                    rt.stack(0).acquire(dram::Owner::Accelerator);
+                    rt.layer(0).execute(up, rt.mem());
+                    rt.stack(0).release(dram::Owner::Accelerator);
+                }
+                rt.runOnHost(dispatch::hostKernelProfile(
+                    dispatch::HostKind::Haswell, u.call, u.loop));
+            });
+        }
+    }
+    rt.waitAll();
+
+    const dispatch::DispatchStats ds = disp.snapshot();
+    const runtime::RuntimeAccounting &acct = rt.accounting();
+    std::printf("program: %zu instruction(s), %zu dispatch unit(s), "
+                "%llu dispatched call(s)\n",
+                prog.instrs.size(), units.size(),
+                static_cast<unsigned long long>(ds.totalCalls()));
+    std::printf("dispatch: policy %s, %llu accel decision(s), "
+                "%llu offloaded (ratio %.2f), %.3f of %.3f MiB "
+                "accelerator-side\n",
+                disp.policy().name(),
+                static_cast<unsigned long long>(
+                    ds.totalAccelDecisions()),
+                static_cast<unsigned long long>(ds.totalOffloaded()),
+                ds.offloadRatio(),
+                ds.totalBytesOffloaded() / 1048576.0,
+                ds.totalBytes() / 1048576.0);
+    for (std::size_t k = 0; k < ds.byKind.size(); ++k) {
+        const dispatch::OpStats &os = ds.byKind[k];
+        if (os.calls == 0)
+            continue;
+        std::printf("  %-6s %6llu call(s)  host %llu  accel %llu  "
+                    "offloaded %llu  fallback %llu\n",
+                    dispatch::name(static_cast<dispatch::OpKind>(k)),
+                    static_cast<unsigned long long>(os.calls),
+                    static_cast<unsigned long long>(os.hostDecisions),
+                    static_cast<unsigned long long>(os.accelDecisions),
+                    static_cast<unsigned long long>(os.offloaded),
+                    static_cast<unsigned long long>(os.fallbacks));
+    }
+    std::printf("time:   %.6f ms serial (makespan %.6f ms)\n",
+                acct.total().seconds * 1e3, acct.makespanSeconds * 1e3);
+    std::printf("energy: %.6f mJ\n", acct.total().joules * 1e3);
+    if (cfg.fault.enabled())
+        std::printf("faults: %zu injected (retries %llu, fallbacks "
+                    "%llu)\n",
+                    rt.faultModel().history().size(),
+                    static_cast<unsigned long long>(acct.retryCount),
+                    static_cast<unsigned long long>(acct.fallbackCount));
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath, std::ios::binary);
+        fatalIf(!out, "cannot write '", jsonPath, "'");
+        out << ds.toJson(disp.policy().name()) << "\n";
+        std::printf("dispatch telemetry written to %s\n",
+                    jsonPath.c_str());
+    }
+    disp.detachBackend();
+    return 0;
 }
 
 } // namespace
@@ -158,6 +289,14 @@ main(int argc, char **argv)
         const std::uint64_t repeat = static_cast<std::uint64_t>(
             cli.getInt("repeat", 1));
         fatalIf(repeat == 0, "--repeat must be at least 1");
+
+        const std::string policy_name = cli.get("offload-policy", "");
+        const std::string dispatch_json = cli.get("dispatch-json", "");
+        if (!policy_name.empty() || !dispatch_json.empty())
+            return runDispatched(
+                rt, cfg, prog, repeat,
+                policy_name.empty() ? "host" : policy_name,
+                dispatch_json);
 
         runtime::AccPlanHandle plan = rt.accPlan(prog);
         accel::ExecStats stats;
