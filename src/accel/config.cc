@@ -3,73 +3,27 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "hwmodel/profile.hh"
 
 namespace mealib::accel {
+
+// The Table 5 synthesis constants and default configurations live in
+// the hardware-model registry (src/hwmodel/presets.cc); these factories
+// remain as the module-local spelling. The configuration *scaling laws*
+// below (leakage floor, DVFS exponent, area split) stay here: they are
+// modeling assumptions of the Fig. 11 design-space sweep, not Table
+// values.
 
 AccelConfig
 defaultConfig(AccelKind kind)
 {
-    AccelConfig c;
-    switch (kind) {
-      case AccelKind::AXPY:
-      case AccelKind::DOT:
-        // Streaming BLAS-1: wide but shallow datapaths.
-        c.coresPerTile = 2;
-        break;
-      case AccelKind::GEMV:
-        c.coresPerTile = 4;
-        break;
-      case AccelKind::SPMV:
-        // Many independent gather/MAC lanes to tolerate random-access
-        // latency; hence the large Table 5 area (14.17 mm^2).
-        c.coresPerTile = 8;
-        c.localMemKiB = 128;
-        break;
-      case AccelKind::RESMP:
-        c.coresPerTile = 4;
-        break;
-      case AccelKind::FFT:
-        // Radix pipelines with big ping-pong buffers (16.13 mm^2).
-        c.coresPerTile = 8;
-        c.localMemKiB = 256;
-        c.blockElems = 8192;
-        break;
-      case AccelKind::RESHP:
-        // Lives on the DRAM logic layer next to the reshape unit.
-        c.coresPerTile = 1;
-        break;
-      default:
-        panic("defaultConfig: bad kind");
-    }
-    return c;
+    return hwmodel::accelDefaultConfig(kind);
 }
 
 SynthesisConstants
 synthesis(AccelKind kind)
 {
-    // logicPowerW is chosen so that logic + simulated 3D-DRAM power at
-    // the default configuration reproduces the Table 5 "Power" column
-    // (which the paper states includes the DRAM power). areaMm2 is the
-    // Table 5 area. computeUtil reflects how well the datapath streams:
-    // regular kernels sustain ~90% of issue, gather-bound SPMV far less.
-    switch (kind) {
-      case AccelKind::AXPY:
-        return {18.4, 1.38, 0.90};
-      case AccelKind::DOT:
-        return {18.4, 1.81, 0.90};
-      case AccelKind::GEMV:
-        return {18.6, 2.45, 0.90};
-      case AccelKind::SPMV:
-        return {11.5, 14.17, 0.25};
-      case AccelKind::RESMP:
-        return {6.0, 2.64, 0.50};
-      case AccelKind::FFT:
-        return {13.6, 16.13, 0.75};
-      case AccelKind::RESHP:
-        return {17.6, 0.0, 1.0}; // area accounted on the DRAM logic layer
-      default:
-        panic("synthesis: bad kind");
-    }
+    return hwmodel::accelSynthesis(kind);
 }
 
 double

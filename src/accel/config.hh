@@ -13,6 +13,7 @@
 
 #include "accel/ops.hh"
 #include "common/units.hh"
+#include "hwmodel/constants.hh"
 
 namespace mealib::accel {
 
@@ -51,10 +52,10 @@ double logicPowerW(AccelKind kind, const AccelConfig &cfg);
 double areaMm2(AccelKind kind, const AccelConfig &cfg);
 
 /** TSV array area on the accelerator layer (Table 5). */
-inline constexpr double kTsvAreaMm2 = 1.75;
+inline constexpr double kTsvAreaMm2 = hwmodel::kTsvAreaMm2;
 
 /** Total accelerator-layer area budget (HMC 2011 die, Sec. 5.2). */
-inline constexpr double kLayerAreaMm2 = 68.0;
+inline constexpr double kLayerAreaMm2 = hwmodel::kAccelLayerAreaMm2;
 
 } // namespace mealib::accel
 

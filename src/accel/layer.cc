@@ -211,6 +211,9 @@ AcceleratorLayer::accountComp(const OpCall &call, const LoopSpec &loop,
     const char *key = name(call.kind);
     stats.timeByAccel.add(key, est.total.seconds);
     stats.energyByAccel.add(key, est.total.joules);
+    stats.energyByComponent.add("dram", est.dramEnergyJ);
+    stats.energyByComponent.add("logic", est.logicEnergyJ);
+    stats.energyByComponent.add("noc", est.nocEnergyJ);
     stats.total += est.total;
     stats.bytesMoved += est.bytes;
     stats.flops += est.flops;
@@ -250,6 +253,7 @@ AcceleratorLayer::creditChaining(const OpCall &producer,
     stats.timeByAccel.add(ck, -dt / 2.0);
     stats.energyByAccel.add(pk, -de / 2.0);
     stats.energyByAccel.add(ck, -de / 2.0);
+    stats.energyByComponent.add("dram", -de); // the credit is DRAM traffic
     stats.total.seconds -= dt;
     stats.total.joules -= de;
     stats.bytesMoved -= saved;

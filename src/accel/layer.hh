@@ -46,6 +46,9 @@ struct ExecStats
     double remoteBytes = 0.0; //!< bytes that crossed stack links
     Breakdown timeByAccel;    //!< seconds keyed by accelerator name
     Breakdown energyByAccel;  //!< joules keyed by accelerator name
+    /** Joules keyed by physical component ("dram"/"logic"/"noc");
+     * sums to the accelerator-execution share of @c total. */
+    Breakdown energyByComponent;
     std::uint64_t compsExecuted = 0; //!< expanded COMP count
     std::uint64_t passes = 0;
     double bytesMoved = 0.0;  //!< total DRAM traffic

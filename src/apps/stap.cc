@@ -6,7 +6,9 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "dispatch/models.hh"
 #include "dispatch/ops.hh"
+#include "hwmodel/profile.hh"
 #include "mealib/platform.hh"
 #include "minimkl/blas1.hh"
 #include "minimkl/blas3.hh"
@@ -371,7 +373,8 @@ StapResult
 runStapHost(const StapParams &p)
 {
     StapResult res;
-    host::CpuModel cpu(host::haswell4770k());
+    const hwmodel::MachineProfile &machine = hwmodel::activeProfile();
+    host::CpuModel cpu(machine.cpu);
     const unsigned l = p.dofLen();
 
     // --- functional pipeline through MiniMKL (the legacy code path) ---
@@ -438,21 +441,31 @@ runStapHost(const StapParams &p)
     // --- cost model: every stage runs on the host --------------------
     StapCalls calls = buildCalls(p, 0, 0, 0, 0, 0, 0, 0);
 
+    auto charge = [&](const host::KernelProfile &prof,
+                      const char *label) {
+        Cost c = cpu.run(prof);
+        res.host += c;
+        res.ledger.post("host", c, label);
+        res.ledger.attribute("host", c.joules);
+        res.ledger.addFlops(prof.flops);
+    };
     auto host_stage = [&](const OpCall &call, const LoopSpec &loop,
-                          double per_call_overhead) {
-        host::KernelProfile prof = eval::hostProfile(
-            eval::Platform::HaswellMkl, call, loop);
+                          double per_call_overhead, const char *label) {
+        // Priced against the active machine profile; identical to the
+        // pre-registry eval::hostProfile(HaswellMkl) on the default.
+        host::KernelProfile prof =
+            dispatch::hostKernelProfile(machine, call, loop);
         prof.callOverheads +=
             per_call_overhead * static_cast<double>(loop.iterations());
-        res.host += cpu.run(prof);
+        charge(prof, label);
     };
-    host_stage(calls.reshape, calls.reshapeLoop, 0.0);
-    host_stage(calls.fft, calls.reshapeLoop, 0.0); // one FFT per channel
+    host_stage(calls.reshape, calls.reshapeLoop, 0.0, "reshape");
+    host_stage(calls.fft, calls.reshapeLoop, 0.0, "fft"); // one per chan
     // 16M separate cdotc_sub library calls each pay dispatch cost.
-    host_stage(calls.dot, calls.dotLoop, 40e-9);
-    host_stage(calls.axpy, {}, 0.0);
-    res.host += cpu.run(weightStageProfile(p));
-    res.host += cpu.run(marshalProfile(p));
+    host_stage(calls.dot, calls.dotLoop, 40e-9, "dot");
+    host_stage(calls.axpy, {}, 0.0, "axpy");
+    charge(weightStageProfile(p), "cherk+ctrsm");
+    charge(marshalProfile(p), "marshal");
 
     res.libraryCalls = 2 + 2 + blas3_calls + p.dotCalls() + 1;
     res.descriptors = 0;
@@ -507,7 +520,7 @@ runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
     buildSnapshots(p, doppler, snap, 0, p.nDop);
     std::uint64_t blas3_calls =
         computeWeights(p, snap, weights, 0, p.nDop);
-    host::CpuModel cpu(host::haswell4770k());
+    host::CpuModel cpu(hwmodel::activeProfile().cpu);
     rt.runOnHost(weightStageProfile(p));
     rt.runOnHost(marshalProfile(p));
 
@@ -541,6 +554,11 @@ runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
     Cost idle = cpu.idleCost(res.accel.seconds + res.invocation.seconds);
     res.host.joules += idle.joules;
     res.criticalPathSeconds = acct.makespanSeconds;
+    // The runtime's ledger already mirrors the accounting above; add
+    // the package-idle charge so ledger.total() == total() stays exact.
+    res.ledger = rt.ledger();
+    res.ledger.post("host", {0.0, idle.joules}, "package_idle");
+    res.ledger.attribute("host", idle.joules);
 
     res.libraryCalls = 2 + 2 + blas3_calls + p.dotCalls() + 1;
     res.descriptors = 3;
@@ -669,10 +687,14 @@ runStapMealibAsync(const StapParams &p, runtime::MealibRuntime &rt)
     res.criticalPathSeconds = acct.makespanSeconds;
     // The host burns package power only where the overlap-aware
     // timeline leaves it idle.
-    host::CpuModel cpu(host::haswell4770k());
+    host::CpuModel cpu(hwmodel::activeProfile().cpu);
     const double idle_s =
         std::max(0.0, acct.makespanSeconds - acct.hostBusySeconds);
-    res.host.joules += cpu.idleCost(idle_s).joules;
+    const double idle_j = cpu.idleCost(idle_s).joules;
+    res.host.joules += idle_j;
+    res.ledger = rt.ledger();
+    res.ledger.post("host", {0.0, idle_j}, "package_idle");
+    res.ledger.attribute("host", idle_j);
 
     res.libraryCalls = 2 + 2 + blas3_calls + p.dotCalls() + 1;
     res.descriptors = 1 + slices;

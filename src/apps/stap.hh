@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ledger.hh"
 #include "common/stats.hh"
 #include "common/units.hh"
 #include "minimkl/types.hh"
@@ -86,6 +87,10 @@ struct StapResult
      * Equals total().seconds for the blocking pipelines; smaller for
      * runStapMealibAsync when stacks and host work overlap. */
     double criticalPathSeconds = 0.0;
+    /** Per-stage cost ledger of the run: the runtime's ledger for the
+     * MEALib pipelines (plus the host package-idle charge), a locally
+     * built one for the host baseline. ledger.total() == total(). */
+    EnergyLedger ledger;
 
     Cost
     total() const

@@ -1,0 +1,135 @@
+#include "common/ledger.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mealib {
+
+namespace {
+
+/** Shortest round-trippable spelling of a double for JSON. */
+std::string
+jnum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+appendCost(std::ostringstream &os, const Cost &c)
+{
+    os << "{\"seconds\": " << jnum(c.seconds)
+       << ", \"joules\": " << jnum(c.joules) << "}";
+}
+
+} // namespace
+
+void
+EnergyLedger::post(const std::string &track, const Cost &c,
+                   const std::string &label)
+{
+    tracks_[track] += c;
+    if (!label.empty()) {
+        EventStat &ev = events_[track + "/" + label];
+        ev.count++;
+        ev.cost += c;
+    }
+}
+
+void
+EnergyLedger::attribute(const std::string &component, double joules)
+{
+    components_.add(component, joules);
+}
+
+void
+EnergyLedger::note(const std::string &label)
+{
+    events_[label].count++;
+}
+
+void
+EnergyLedger::addFlops(double flops)
+{
+    flops_ += flops;
+}
+
+Cost
+EnergyLedger::total() const
+{
+    Cost t;
+    for (const auto &[name, c] : tracks_)
+        t += c;
+    return t;
+}
+
+Cost
+EnergyLedger::track(const std::string &name) const
+{
+    auto it = tracks_.find(name);
+    return it == tracks_.end() ? Cost{} : it->second;
+}
+
+double
+EnergyLedger::gflopsPerWatt() const
+{
+    Cost t = total();
+    double w = t.watts();
+    if (w <= 0.0 || t.seconds <= 0.0)
+        return 0.0;
+    return flops_ / t.seconds / 1e9 / w;
+}
+
+void
+EnergyLedger::reset()
+{
+    *this = EnergyLedger{};
+}
+
+std::string
+EnergyLedger::toJson(const std::string &machine) const
+{
+    Cost t = total();
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"machine\": \"" << machine << "\",\n";
+    os << "  \"total\": {\"seconds\": " << jnum(t.seconds)
+       << ", \"joules\": " << jnum(t.joules)
+       << ", \"watts\": " << jnum(t.watts())
+       << ", \"edp\": " << jnum(t.edp()) << "},\n";
+    os << "  \"gflops_per_watt\": " << jnum(gflopsPerWatt()) << ",\n";
+
+    os << "  \"tracks\": {";
+    bool first = true;
+    for (const auto &[name, c] : tracks_) {
+        os << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+        appendCost(os, c);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"energy_by_component\": {";
+    first = true;
+    for (const auto &[name, j] : components_.parts()) {
+        os << (first ? "\n" : ",\n") << "    \"" << name
+           << "\": " << jnum(j);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"events\": {";
+    first = true;
+    for (const auto &[label, ev] : events_) {
+        os << (first ? "\n" : ",\n") << "    \"" << label
+           << "\": {\"count\": " << ev.count << ", \"cost\": ";
+        appendCost(os, ev.cost);
+        os << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace mealib

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cross-layer energy/EDP ledger (docs/MODEL.md).
+ *
+ * The models produce Cost deltas in many places — host roofline runs,
+ * accelerator executions, invocation overheads, fault recovery,
+ * dispatch decisions. An EnergyLedger collects them per run into one
+ * observable record: named cost *tracks* whose sum is the run total,
+ * an energy-only *component* attribution (DRAM vs. logic vs. NoC vs.
+ * link vs. host package), and aggregated per-label event statistics.
+ * The runtime posts to its ledger at exactly the points it updates
+ * RuntimeAccounting, so ledger.total() equals accounting().total()
+ * identically; `mealib-run --energy-json` serializes the ledger.
+ */
+
+#ifndef MEALIB_COMMON_LEDGER_HH
+#define MEALIB_COMMON_LEDGER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace mealib {
+
+/** Per-run cost ledger with track/component/event views. */
+class EnergyLedger
+{
+  public:
+    /** Aggregated statistics of one event label on one track. */
+    struct EventStat
+    {
+        std::uint64_t count = 0;
+        Cost cost;
+    };
+
+    /**
+     * Charge @p c to @p track ("host", "accel", "invocation"). The
+     * optional @p label aggregates an event record ("track/label") so
+     * the JSON shows what the track's total is made of.
+     */
+    void post(const std::string &track, const Cost &c,
+              const std::string &label = "");
+
+    /**
+     * Attribute @p joules of already-posted energy to a physical
+     * component ("dram", "logic", "noc", "link", "fault", "host",
+     * "invocation"). A view of where posted energy went — attribution
+     * never changes total().
+     */
+    void attribute(const std::string &component, double joules);
+
+    /** Record a zero-cost event (e.g. a dispatch decision). */
+    void note(const std::string &label);
+
+    /** Record useful work for the GFLOPS/W summary metric. */
+    void addFlops(double flops);
+
+    /** Sum of every track: the run's end-to-end cost. */
+    Cost total() const;
+
+    /** One track's accumulated cost (zero if never posted). */
+    Cost track(const std::string &name) const;
+
+    const std::map<std::string, Cost> &tracks() const { return tracks_; }
+    const Breakdown &energyByComponent() const { return components_; }
+    const std::map<std::string, EventStat> &events() const
+    {
+        return events_;
+    }
+
+    double flops() const { return flops_; }
+
+    /** Energy-delay product of the run total (J*s). */
+    double
+    edp() const
+    {
+        return total().edp();
+    }
+
+    /** GFLOP/s per watt over the whole run (0 without work/energy). */
+    double gflopsPerWatt() const;
+
+    void reset();
+
+    /**
+     * Serialize to a JSON object: machine name, total
+     * {seconds, joules, watts, edp}, gflops_per_watt, per-track costs,
+     * energy_by_component, and the aggregated events.
+     */
+    std::string toJson(const std::string &machine = "") const;
+
+  private:
+    std::map<std::string, Cost> tracks_;
+    Breakdown components_;
+    std::map<std::string, EventStat> events_;
+    double flops_ = 0.0;
+};
+
+} // namespace mealib
+
+#endif // MEALIB_COMMON_LEDGER_HH

@@ -54,6 +54,20 @@ Dispatcher::hasBackend() const
     return backend_ != nullptr;
 }
 
+void
+Dispatcher::attachLedger(EnergyLedger *ledger)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ledger_ = ledger;
+}
+
+void
+Dispatcher::detachLedger()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ledger_ = nullptr;
+}
+
 Backend
 Dispatcher::decideLocked(const OpDesc &desc)
 {
@@ -78,6 +92,9 @@ Dispatcher::run(const OpDesc &desc, const std::function<void()> &hostFn)
             s.accelDecisions++;
         else
             s.hostDecisions++;
+        if (ledger_ != nullptr)
+            ledger_->note(std::string("dispatch/") + name(desc.kind) +
+                          "/" + name(side));
     }
 
     if (side == Backend::Host) {
@@ -125,6 +142,9 @@ Dispatcher::run(const OpDesc &desc, const std::function<void()> &hostFn)
         OpStats &s = stats_.of(desc.kind);
         s.fallbacks++;
         s.fallbackBy[static_cast<std::size_t>(reason)]++;
+        if (ledger_ != nullptr)
+            ledger_->note(std::string("dispatch/") + name(desc.kind) +
+                          "/fallback");
     }
     hostFn();
 }

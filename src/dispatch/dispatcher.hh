@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/ledger.hh"
 #include "common/status.hh"
 #include "dispatch/policy.hh"
 #include "dispatch/telemetry.hh"
@@ -67,6 +68,15 @@ class Dispatcher
     bool hasBackend() const;
 
     /**
+     * Attach / detach an energy ledger (not owned; detach before
+     * destroying it). Each decision and fallback is recorded as a
+     * zero-cost note ("dispatch/<kind>/<side>"), so a run's JSON shows
+     * where every call went without perturbing the cost totals.
+     */
+    void attachLedger(EnergyLedger *ledger);
+    void detachLedger();
+
+    /**
      * Execute @p desc: ask the policy for a side, then run @p hostFn
      * (host) or the backend (accel). A declined or failed offload
      * reruns @p hostFn when @p desc.rerunSafe; otherwise backend
@@ -94,6 +104,7 @@ class Dispatcher
     std::unique_ptr<OffloadPolicy> policy_;
     std::shared_ptr<const CostModel> costs_;
     AccelBackend *backend_ = nullptr;
+    EnergyLedger *ledger_ = nullptr;
     DispatchStats stats_;
 };
 

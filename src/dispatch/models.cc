@@ -6,80 +6,30 @@
 #include "accel/config.hh"
 #include "accel/model.hh"
 #include "common/logging.hh"
-#include "dram/params.hh"
-#include "noc/mesh.hh"
 
 namespace mealib::dispatch {
+
+const hwmodel::MachineProfile &
+machineFor(HostKind host)
+{
+    return hwmodel::profile(host == HostKind::XeonPhi ? "xeonphi5110p"
+                                                      : "haswell4770k");
+}
 
 HostOpProfile
 hostOpProfile(HostKind host, accel::AccelKind kind)
 {
-    using accel::AccelKind;
-    if (host == HostKind::Haswell) {
-        switch (kind) {
-          case AccelKind::AXPY:
-            // Write-allocate turns 3 B/B into 4 B/B of bus traffic;
-            // STREAM-like loops sustain ~60% of the 25.6 GB/s pair.
-            return {4.0 / 3.0, 0.60, 0.9, 0.95};
-          case AccelKind::DOT:
-            // Pure reads, but the reduction and threading sync cost
-            // some steady-state bandwidth.
-            return {1.0, 0.50, 0.9, 0.90};
-          case AccelKind::GEMV:
-            return {1.05, 0.60, 0.9, 0.95};
-          case AccelKind::SPMV:
-            // rgg's vector mostly fits the LLC: traffic is ~the matrix
-            // stream, but the gather-dependent loads cap efficiency.
-            return {0.55, 0.35, 0.3, 0.90};
-          case AccelKind::RESMP:
-            // Windowed-sinc interpolation is compute-bound on the
-            // host: short gather-heavy dots vectorize poorly.
-            return {1.2, 0.60, 0.30, 0.95};
-          case AccelKind::FFT:
-            // Large 2D FFT: multiple blocked passes plus transposes
-            // push traffic to ~2x the accelerator's two-pass scheme.
-            return {2.0, 0.50, 0.35, 0.90};
-          case AccelKind::RESHP:
-            // Strided writes use a fraction of each cache line;
-            // blocked MKL recovers some locality but efficiency stays
-            // low — hence the paper's largest gain (88x).
-            return {1.5, 0.20, 1.0, 0.90};
-          default:
-            panic("hostOpProfile: bad kind");
-        }
-    }
-    // The paper observes (Sec. 5.1) that Xeon Phi barely beats — and
-    // often trails — Haswell on these data sets: per-op efficiencies on
-    // the 320 GB/s card are poor (60 in-order cores need far more
-    // parallel slack than these kernels expose). Factors calibrated to
-    // the paper's observations: AXPY 2.23x over Haswell, RESHP 0.024x.
-    switch (kind) {
-      case AccelKind::AXPY:
-        return {4.0 / 3.0, 0.11, 0.5, 0.98};
-      case AccelKind::DOT:
-        return {1.0, 0.075, 0.5, 0.95};
-      case AccelKind::GEMV:
-        return {1.05, 0.06, 0.5, 0.95};
-      case AccelKind::SPMV:
-        return {0.55, 0.022, 0.2, 0.90};
-      case AccelKind::RESMP:
-        return {1.2, 0.30, 0.012, 0.95};
-      case AccelKind::FFT:
-        return {2.0, 0.065, 0.2, 0.90};
-      case AccelKind::RESHP:
-        // In-place strided transpose is pathological on the ring-based
-        // in-order card: the paper measures 2.4% of Haswell.
-        return {1.5, 0.00045, 1.0, 0.90};
-      default:
-        panic("hostOpProfile: bad kind");
-    }
+    // The calibration tables live in the machine profiles
+    // (src/hwmodel/profile.cc) so dispatch, eval and the benches price
+    // host execution from the same source.
+    return machineFor(host).opEfficiency(kind);
 }
 
 host::KernelProfile
-hostKernelProfile(HostKind host, const accel::OpCall &call,
-                  const accel::LoopSpec &loop)
+hostKernelProfile(const hwmodel::MachineProfile &m,
+                  const accel::OpCall &call, const accel::LoopSpec &loop)
 {
-    HostOpProfile p = hostOpProfile(host, call.kind);
+    const HostOpProfile &p = m.opEfficiency(call.kind);
     double iters = static_cast<double>(loop.iterations());
 
     host::KernelProfile k;
@@ -95,16 +45,32 @@ hostKernelProfile(HostKind host, const accel::OpCall &call,
     // Short vectors leave the SIMD pipeline mostly empty (ramp-up,
     // horizontal reductions): the 36-element STAP dots reach a fraction
     // of the streaming kernels' issue efficiency.
-    if (call.n < 256)
-        k.simdEff *= 0.4;
+    if (call.n < m.shortVectorElems)
+        k.simdEff *= m.shortVectorSimdFactor;
     k.memEff = p.memEff;
     k.parallelFraction = p.parallelFraction;
     // Library call dispatch + thread wakeup; heavier on the Phi.
-    k.callOverheads = host == HostKind::XeonPhi ? 100e-6 : 5e-6;
+    k.callOverheads = m.callOverheadSeconds;
     return k;
 }
 
-RooflineCostModel::RooflineCostModel() : cpu_(host::haswell4770k()) {}
+host::KernelProfile
+hostKernelProfile(HostKind host, const accel::OpCall &call,
+                  const accel::LoopSpec &loop)
+{
+    return hostKernelProfile(machineFor(host), call, loop);
+}
+
+RooflineCostModel::RooflineCostModel()
+    : RooflineCostModel(hwmodel::activeProfile())
+{
+}
+
+RooflineCostModel::RooflineCostModel(
+    const hwmodel::MachineProfile &machine)
+    : machine_(machine), cpu_(machine.cpu)
+{
+}
 
 RooflineCostModel::Key
 RooflineCostModel::keyOf(const OpDesc &desc)
@@ -127,7 +93,7 @@ RooflineCostModel::hostSeconds(const OpDesc &desc) const
 
     host::KernelProfile p;
     if (accelerable(desc.kind)) {
-        p = hostKernelProfile(HostKind::Haswell, desc.call, desc.loop);
+        p = hostKernelProfile(machine_, desc.call, desc.loop);
     } else {
         // Host-only kinds (GEMM, HERK, TRSM, SCAL, COPY): build a
         // generic profile from the descriptor's flop/byte overrides.
@@ -141,7 +107,7 @@ RooflineCostModel::hostSeconds(const OpDesc &desc) const
         p.simdEff = 0.8;
         p.memEff = 0.6;
         p.parallelFraction = 0.95;
-        p.callOverheads = 5e-6;
+        p.callOverheads = machine_.callOverheadSeconds;
     }
     double s = cpu_.run(p).seconds;
 
@@ -166,7 +132,7 @@ RooflineCostModel::accelSeconds(const OpDesc &desc) const
 
     accel::AccelKind kind = accelKindOf(desc.kind);
     accel::AccelModel model(kind, accel::defaultConfig(kind),
-                            dram::hmcStack(), noc::mealibMesh());
+                            machine_.stackDram, machine_.mesh);
     accel::AccelEstimate e = model.estimate(desc.call, desc.loop);
     // Invocation overhead: the host must flush the input footprint out
     // of its caches before the memory-side units read DRAM directly,

@@ -21,6 +21,7 @@
 
 #include "dispatch/policy.hh"
 #include "host/cpu.hh"
+#include "hwmodel/profile.hh"
 
 namespace mealib::dispatch {
 
@@ -31,18 +32,11 @@ enum class HostKind
     XeonPhi, //!< Xeon Phi 5110P
 };
 
-/**
- * Per-operation host execution efficiencies. These substitute for the
- * paper's native measurement (we have no i7-4770K/RAPL); the factors
- * are calibrated against the paper's Fig. 9/10 bands (EXPERIMENTS.md).
- */
-struct HostOpProfile
-{
-    double trafficFactor; //!< host DRAM traffic vs. accelerator traffic
-    double memEff;        //!< fraction of peak bandwidth sustained
-    double simdEff;       //!< fraction of peak issue sustained
-    double parallelFraction;
-};
+/** The registry profile behind @p host (haswell4770k / xeonphi5110p). */
+const hwmodel::MachineProfile &machineFor(HostKind host);
+
+/** The calibration tables now live in the hardware-model registry. */
+using HostOpProfile = hwmodel::HostOpEfficiency;
 
 /** Calibration entry for @p kind on @p host. */
 HostOpProfile hostOpProfile(HostKind host, accel::AccelKind kind);
@@ -52,6 +46,11 @@ HostOpProfile hostOpProfile(HostKind host, accel::AccelKind kind);
  * the record host::CpuModel::run() prices.
  */
 host::KernelProfile hostKernelProfile(HostKind host,
+                                      const accel::OpCall &call,
+                                      const accel::LoopSpec &loop);
+
+/** hostKernelProfile() against an explicit machine profile. */
+host::KernelProfile hostKernelProfile(const hwmodel::MachineProfile &m,
                                       const accel::OpCall &call,
                                       const accel::LoopSpec &loop);
 
@@ -66,20 +65,29 @@ host::KernelProfile hostKernelProfile(HostKind host,
 class RooflineCostModel final : public CostModel
 {
   public:
+    /** Price against the active machine profile (MEALIB_MACHINE). */
     RooflineCostModel();
+
+    /** Price against an explicit machine profile. @p machine must
+     * outlive the model (registry profiles always do). */
+    explicit RooflineCostModel(const hwmodel::MachineProfile &machine);
 
     double hostSeconds(const OpDesc &desc) const override;
     double accelSeconds(const OpDesc &desc) const override;
 
+    const hwmodel::MachineProfile &machine() const { return machine_; }
+
     /** Fixed per-invocation accelerator overhead (descriptor copy +
      * START handshake), excluding the size-dependent cache flush. */
-    static constexpr double kHandshakeSeconds = 20.0e-6;
+    static constexpr double kHandshakeSeconds =
+        hwmodel::kHandshakeSeconds;
 
   private:
     using Key = std::tuple<std::uint8_t, std::uint64_t, std::uint64_t,
                            std::uint64_t, bool, std::uint64_t>;
     static Key keyOf(const OpDesc &desc);
 
+    const hwmodel::MachineProfile &machine_;
     host::CpuModel cpu_;
     mutable std::mutex mu_;
     mutable std::map<Key, double> hostCache_;

@@ -1,82 +1,23 @@
 #include "dram/params.hh"
 
+#include "hwmodel/profile.hh"
+
 namespace mealib::dram {
+
+// The parameter values live in the hardware-model registry
+// (src/hwmodel/presets.cc) so every Table 3/CACTI constant is defined
+// exactly once; these factories remain as the module-local spelling.
 
 DramParams
 hmcStack()
 {
-    DramParams p;
-    p.name = "hmc-3d-stack";
-
-    // 32 vaults x ~16 GB/s per vault = 512 GB/s aggregate internal
-    // bandwidth (the paper's Table 3 quotes 510 GB/s). Per-vault TSV bus
-    // moves a 32 B burst in 2 cycles at 1.0 GHz.
-    p.timing.tCK = 1.0 / 1.0_GHz;
-    p.timing.tRCD = 14;
-    p.timing.tCAS = 14;
-    p.timing.tRP = 14;
-    p.timing.tRAS = 34;
-    p.timing.tWR = 15;
-    p.timing.tBURST = 2;
-    p.timing.burstBytes = 32;
-    p.timing.tREFI = 3900; // 3.9 us at 1 GHz (fine-grained 3D refresh)
-    p.timing.tRFC = 60;
-
-    // CACTI-3DD-style estimates for a 32 nm 3D part: small rows make
-    // activates cheap; TSVs are far cheaper than off-chip I/O.
-    p.energy.activateJ = 0.7_nJ;
-    p.energy.readJPerByte = 4.0_pJ;
-    p.energy.writeJPerByte = 4.4_pJ;
-    p.energy.tsvJPerByte = 0.8_pJ;
-    p.energy.backgroundWPerVault = 0.055;
-    p.energy.refreshJPerVault = 8.0_nJ;
-
-    p.org.numVaults = 32;
-    p.org.banksPerVault = 8;
-    p.org.rowBytes = 256;
-    p.org.interleaveBytes = 32;
-    p.org.capacityBytes = 4_GiB;
-    p.org.linkBandwidth = 120.0_GBps; // 4 half-width HMC links
-
-    return p;
+    return hwmodel::hmcStackParams();
 }
 
 DramParams
 ddr3(unsigned channels)
 {
-    DramParams p;
-    p.name = "ddr3-1600-x" + std::to_string(channels);
-
-    // DDR3-1600: 800 MHz bus clock, 64 B cache-line burst (BL8 on a
-    // 64-bit channel) occupies 4 bus cycles.
-    p.timing.tCK = 1.0 / 0.8_GHz;
-    p.timing.tRCD = 11;
-    p.timing.tCAS = 11;
-    p.timing.tRP = 11;
-    p.timing.tRAS = 28;
-    p.timing.tWR = 12;
-    p.timing.tBURST = 4;
-    p.timing.burstBytes = 64;
-    p.timing.tREFI = 6240; // 7.8 us at 800 MHz
-    p.timing.tRFC = 280;   // 350 ns
-
-    // Off-chip I/O dominates: ~15 pJ/byte on the channel versus ~1 pJ/byte
-    // over TSVs; 8 KiB rows make activates expensive.
-    p.energy.activateJ = 15.0_nJ;
-    p.energy.readJPerByte = 6.0_pJ;
-    p.energy.writeJPerByte = 6.6_pJ;
-    p.energy.tsvJPerByte = 15.0_pJ;
-    p.energy.backgroundWPerVault = 0.9;
-    p.energy.refreshJPerVault = 120.0_nJ;
-
-    p.org.numVaults = channels;
-    p.org.banksPerVault = 8;
-    p.org.rowBytes = 8_KiB;
-    p.org.interleaveBytes = 64;
-    p.org.capacityBytes = static_cast<std::uint64_t>(channels) * 4_GiB;
-    p.org.linkBandwidth = p.peakInternalBandwidth();
-
-    return p;
+    return hwmodel::ddr3Params(channels);
 }
 
 } // namespace mealib::dram

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/units.hh"
+#include "hwmodel/constants.hh"
 
 namespace mealib::dram {
 
@@ -95,9 +96,10 @@ DramParams ddr3(unsigned channels);
  */
 struct LogicLayerExtras
 {
-    double powerW = 0.25;
-    double areaMm2 = 0.45;
-    double logicLayerAreaMm2 = 68.0; //!< HMC 2011 logic layer area
+    double powerW = hwmodel::kLogicLayerMuxPowerW;
+    double areaMm2 = hwmodel::kLogicLayerMuxAreaMm2;
+    //! HMC 2011 logic layer area
+    double logicLayerAreaMm2 = hwmodel::kLogicLayerAreaMm2;
 };
 
 } // namespace mealib::dram

@@ -4,47 +4,24 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "hwmodel/profile.hh"
 
 namespace mealib::host {
+
+// The Table 3 parameter values live in the hardware-model registry
+// (src/hwmodel/presets.cc); these factories remain as the module-local
+// spelling.
 
 CpuParams
 haswell4770k()
 {
-    CpuParams p;
-    p.name = "haswell-i7-4770k";
-    p.cores = 4;
-    p.freq = 3.5_GHz;
-    // The paper's footnote 1 quotes 112 GFLOPS peak at 3.5 GHz:
-    // 4 cores x 3.5 GHz x 8 flops/cycle.
-    p.flopsPerCycle = 8.0;
-    p.memBandwidth = 25.6_GBps; // 2 x DDR3-1600 (Table 3)
-    // Calibrated so a bandwidth-saturating 4-thread kernel draws ~48 W
-    // (the paper's measured FFT package power).
-    p.idleW = 16.0;
-    p.perCoreActiveW = 8.0;
-    p.stallPowerFactor = 0.6;
-    p.llcBytes = 8_MiB;
-    p.dram = dram::ddr3(2);
-    return p;
+    return hwmodel::haswell4770kParams();
 }
 
 CpuParams
 xeonPhi5110p()
 {
-    CpuParams p;
-    p.name = "xeon-phi-5110p";
-    p.cores = 60;
-    p.freq = 1.0_GHz;
-    p.flopsPerCycle = 32.0; // 512-bit SIMD, FMA
-    p.memBandwidth = 320.0_GBps; // GDDR5 (Table 3)
-    // The paper measures ~130 W on FFT; the card idles high.
-    p.idleW = 88.0;
-    p.perCoreActiveW = 0.7;
-    p.stallPowerFactor = 0.8;
-    p.llcBytes = 30_MiB; // distributed L2
-    p.dram = dram::ddr3(8); // stand-in channel group for energy bookkeeping
-    p.dram.name = "gddr5-phi";
-    return p;
+    return hwmodel::xeonPhi5110pParams();
 }
 
 CpuModel::CpuModel(const CpuParams &params) : params_(params)

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "dispatch/models.hh"
+#include "hwmodel/profile.hh"
 #include "noc/mesh.hh"
 
 namespace mealib::eval {
@@ -129,15 +130,18 @@ evaluateOp(Platform platform, const Workload &w)
       // r.bytes is the operation's logical traffic on every platform so
       // the GB/s metric (used for RESHP) compares like with like; the
       // platform-specific bus traffic only shapes the time/energy.
+      // Platform evaluation is a cross-machine comparison (Figs. 9/10
+      // put Haswell and Phi side by side), so it pulls both registry
+      // profiles explicitly rather than consulting the active machine.
       case Platform::HaswellMkl: {
-        host::CpuModel cpu(host::haswell4770k());
+        host::CpuModel cpu(hwmodel::profile("haswell4770k").cpu);
         host::KernelProfile p = hostProfile(platform, w.call, w.loop);
         r.cost = cpu.run(p);
         r.bytes = w.call.trafficBytes() * iters;
         return r;
       }
       case Platform::XeonPhiMkl: {
-        host::CpuModel cpu(host::xeonPhi5110p());
+        host::CpuModel cpu(hwmodel::profile("xeonphi5110p").cpu);
         host::KernelProfile p = hostProfile(platform, w.call, w.loop);
         r.cost = cpu.run(p);
         r.bytes = w.call.trafficBytes() * iters;
@@ -146,13 +150,13 @@ evaluateOp(Platform platform, const Workload &w)
       case Platform::Psas:
       case Platform::Msas:
       case Platform::MeaLib: {
-        dram::DramParams d = platform == Platform::Psas ? dram::ddr3(2)
-                             : platform == Platform::Msas
-                                 ? dram::ddr3(8)
-                                 : dram::hmcStack();
+        dram::DramParams d =
+            platform == Platform::Psas   ? hwmodel::ddr3Params(2)
+            : platform == Platform::Msas ? hwmodel::ddr3Params(8)
+                                         : hwmodel::hmcStackParams();
         accel::AccelModel model(w.call.kind,
                                 accel::defaultConfig(w.call.kind), d,
-                                noc::mealibMesh());
+                                hwmodel::mealibMeshParams());
         accel::AccelEstimate e = model.estimate(w.call, w.loop);
         r.cost = e.total;
         r.bytes = w.call.trafficBytes() * iters;

@@ -4,25 +4,17 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "hwmodel/profile.hh"
 
 namespace mealib::noc {
 
+// The 32 nm mesh constants live in the hardware-model registry
+// (src/hwmodel/presets.cc); this factory remains as the module-local
+// spelling.
 MeshParams
 mealibMesh()
 {
-    MeshParams p;
-    // One tile per vault (32 vaults) arranged as an 8x4 mesh.
-    p.width = 8;
-    p.height = 4;
-    p.clock = 1.0_GHz;
-    p.hopCycles = 3;
-    p.linkBytesPerCycle = 16;
-    // 32 nm constants chosen to land on the Table 5 NoC row:
-    // 32 routers * ~3 mW = 0.095 W and 32 * 0.045 mm^2 = 1.44 mm^2.
-    p.energyPerByteHop = 0.55_pJ;
-    p.routerLeakageW = 0.095 / 32.0;
-    p.routerAreaMm2 = 1.44 / 32.0;
-    return p;
+    return hwmodel::mealibMeshParams();
 }
 
 Mesh::Mesh(const MeshParams &params) : params_(params)

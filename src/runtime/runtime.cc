@@ -4,13 +4,19 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "hwmodel/profile.hh"
 
 namespace mealib::runtime {
 
 RuntimeConfig::RuntimeConfig()
-    : dram(dram::hmcStack()), hostCpu(host::haswell4770k()),
-      mesh(noc::mealibMesh())
 {
+    // Defaults come from the active machine profile (MEALIB_MACHINE /
+    // hwmodel::setActiveMachine), so a profile switch reconfigures every
+    // runtime constructed afterwards.
+    const hwmodel::MachineProfile &m = hwmodel::activeProfile();
+    dram = m.stackDram;
+    hostCpu = m.cpu;
+    mesh = m.mesh;
 }
 
 void
@@ -393,6 +399,21 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     for (const auto &[k, v] : es.energyByAccel.parts())
         acct_.energyByAccel.add(k, v);
 
+    // Ledger: mirror the accounting exactly, then attribute the energy
+    // to physical components (the attribution view covers the whole
+    // posted energy: dram+logic+noc+link+fault == the accel track,
+    // "invocation" the invocation track).
+    ledger_.post("invocation", es.invocation, "flush+handshake");
+    ledger_.post("accel", accel_only, "execute");
+    for (const auto &[k, v] : es.energyByComponent.parts())
+        ledger_.attribute(k, v);
+    if (es.remote.joules != 0.0)
+        ledger_.attribute("link", es.remote.joules);
+    if (es.faultPenalty.joules != 0.0)
+        ledger_.attribute("fault", es.faultPenalty.joules);
+    ledger_.attribute("invocation", es.invocation.joules);
+    ledger_.addFlops(es.flops);
+
     // --- timeline: place the command on its stack's queue -------------
     hostWork(flush.seconds + handshake.seconds);
     CommandQueue &q = queues_[stackIdx];
@@ -451,6 +472,8 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
         Cost c = host_.run(fallbackProfile(es));
         hostWork(c.seconds);
         acct_.host += c;
+        ledger_.post("host", c, "fault_fallback");
+        ledger_.attribute("host", c.joules);
         acct_.fallbackSeconds += c.seconds;
         acct_.fallbackCount++;
         es.fellBack = true;
@@ -600,6 +623,8 @@ MealibRuntime::failStack(unsigned stackIdx)
             Cost c = host_.run(fallbackProfile(state->stats));
             hostWork(c.seconds);
             acct_.host += c;
+            ledger_.post("host", c, "fault_fallback");
+            ledger_.attribute("host", c.joules);
             acct_.fallbackSeconds += c.seconds;
             acct_.fallbackCount++;
             state->stats.fellBack = true;
@@ -764,6 +789,8 @@ MealibRuntime::submitOnHost(Plan &plan, unsigned targetStack,
     Cost c = host_.run(fallbackProfile(es));
     hostWork(c.seconds);
     acct_.host += c;
+    ledger_.post("host", c, "fault_fallback");
+    ledger_.attribute("host", c.joules);
     acct_.fallbackSeconds += c.seconds;
     acct_.fallbackCount++;
     acct_.retryCount += retries;
@@ -799,6 +826,10 @@ MealibRuntime::runOnHost(const host::KernelProfile &profile)
 {
     Cost c = host_.run(profile);
     acct_.host += c;
+    ledger_.post("host", c,
+                 profile.name.empty() ? "host_kernel" : profile.name);
+    ledger_.attribute("host", c.joules);
+    ledger_.addFlops(profile.flops);
     hostWork(c.seconds);
     updateMakespan();
     return c;
@@ -808,6 +839,7 @@ void
 MealibRuntime::resetAccounting()
 {
     acct_ = RuntimeAccounting{};
+    ledger_.reset();
     hostSeconds_ = 0.0;
     pending_.clear();
     inflight_.clear();

@@ -35,6 +35,7 @@
 
 #include "accel/descriptor.hh"
 #include "accel/layer.hh"
+#include "common/ledger.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
 #include "common/units.hh"
@@ -281,6 +282,17 @@ class MealibRuntime
     /** Accumulated cost ledger. */
     const RuntimeAccounting &accounting() const { return acct_; }
 
+    /**
+     * Cross-layer energy ledger (docs/MODEL.md): posted at exactly the
+     * points accounting() accumulates, so ledger().total() equals
+     * accounting().total() identically; additionally attributes energy
+     * to physical components (dram/logic/noc/link/fault/host) and
+     * aggregates per-label events. External layers (the dispatcher,
+     * the apps) may post their own entries.
+     */
+    EnergyLedger &ledger() { return ledger_; }
+    const EnergyLedger &ledger() const { return ledger_; }
+
     /** Reset the cost ledger and the async timeline (queues, clocks,
      * hazard state, scheduler cursor) — not the memory state.
      * Outstanding Events become stale: waiting on them is a no-op. */
@@ -376,6 +388,7 @@ class MealibRuntime
     std::map<AccPlanHandle, Plan> plans_;
     AccPlanHandle nextHandle_ = 1;
     RuntimeAccounting acct_;
+    EnergyLedger ledger_;
 
     // --- async timeline state (reset by resetAccounting) ---------------
     std::unique_ptr<Scheduler> sched_;

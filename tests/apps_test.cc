@@ -185,5 +185,38 @@ TEST(FftLoop, FunctionalModeComputesRealFfts)
     EXPECT_GT(r.total.seconds, 0.0);
 }
 
+TEST(Stap, LedgerTotalsMatchResultAccounting)
+{
+    // Acceptance pin of the energy-ledger refactor: on the full STAP
+    // pipeline the ledger's cross-layer totals equal the per-layer
+    // accounting sum within 1e-12 (relative), and its component
+    // attribution partitions the same joules.
+    StapParams p = StapParams::smallSet();
+    StapResult mea = runStapMealib(p, functionalRt());
+
+    const Cost total = mea.total();
+    const Cost ledger = mea.ledger.total();
+    ASSERT_GT(total.joules, 0.0);
+    EXPECT_NEAR(ledger.seconds, total.seconds, 1e-12 * total.seconds);
+    EXPECT_NEAR(ledger.joules, total.joules, 1e-12 * total.joules);
+
+    double attributed = 0.0;
+    for (const auto &[name, j] : mea.ledger.energyByComponent().parts())
+        attributed += j;
+    EXPECT_NEAR(attributed, ledger.joules, 1e-12 * ledger.joules);
+
+    // The three pipeline descriptors ran near memory: the DRAM share
+    // dominates the accelerator side, and GFLOPS/W is finite.
+    EXPECT_GT(mea.ledger.energyByComponent().get("dram"), 0.0);
+    EXPECT_GT(mea.ledger.gflopsPerWatt(), 0.0);
+
+    // The host baseline builds its ledger locally; same identity.
+    StapResult host = runStapHost(p);
+    EXPECT_NEAR(host.ledger.total().joules, host.total().joules,
+                1e-12 * host.total().joules);
+    EXPECT_NEAR(host.ledger.total().seconds, host.total().seconds,
+                1e-12 * host.total().seconds);
+}
+
 } // namespace
 } // namespace mealib::apps

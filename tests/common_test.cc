@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/cli.hh"
+#include "common/ledger.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -183,6 +184,124 @@ TEST(Cli, BadIntegerIsFatal)
     const char *argv[] = {"prog", "--n=abc"};
     Cli cli(2, argv);
     EXPECT_THROW(cli.getInt("n", 0), FatalError);
+}
+
+TEST(Units, EnergyAndPowerLiterals)
+{
+    EXPECT_DOUBLE_EQ(4.0_pJ, 4.0e-12);
+    EXPECT_DOUBLE_EQ(0.7_nJ, 0.7e-9);
+    EXPECT_DOUBLE_EQ(55.0_mW, 0.055);
+    EXPECT_DOUBLE_EQ(20.0_us, 20.0e-6);
+    EXPECT_DOUBLE_EQ(1.5_ms, 1.5e-3);
+    EXPECT_DOUBLE_EQ(800.0_MHz, 0.8e9);
+}
+
+TEST(Units, OverlapTakesMaxTimeAndSumsEnergy)
+{
+    Cost fast{1.0, 4.0};
+    Cost slow{3.0, 2.0};
+    Cost o = overlap(fast, slow);
+    EXPECT_DOUBLE_EQ(o.seconds, 3.0);
+    EXPECT_DOUBLE_EQ(o.joules, 6.0);
+    // Commutative, and a zero-cost branch contributes only energy.
+    Cost o2 = overlap(slow, fast);
+    EXPECT_DOUBLE_EQ(o2.seconds, o.seconds);
+    EXPECT_DOUBLE_EQ(o2.joules, o.joules);
+    Cost o3 = overlap(fast, Cost{});
+    EXPECT_DOUBLE_EQ(o3.seconds, 1.0);
+    EXPECT_DOUBLE_EQ(o3.joules, 4.0);
+}
+
+TEST(Units, WattsOnZeroLengthIntervalIsZero)
+{
+    // A zero-length interval has no meaningful average power, even if
+    // energy was booked against it (e.g. a package-idle correction).
+    EXPECT_DOUBLE_EQ((Cost{0.0, 5.0}.watts()), 0.0);
+    EXPECT_DOUBLE_EQ((Cost{0.0, 5.0}.edp()), 0.0);
+}
+
+TEST(Ledger, PostAccumulatesTracksAndTotal)
+{
+    EnergyLedger l;
+    l.post("host", {1.0, 2.0}, "kernel");
+    l.post("host", {0.5, 1.0}, "kernel");
+    l.post("accel", {2.0, 3.0});
+    EXPECT_DOUBLE_EQ(l.track("host").seconds, 1.5);
+    EXPECT_DOUBLE_EQ(l.track("host").joules, 3.0);
+    EXPECT_DOUBLE_EQ(l.total().seconds, 3.5);
+    EXPECT_DOUBLE_EQ(l.total().joules, 6.0);
+    EXPECT_DOUBLE_EQ(l.track("nope").seconds, 0.0);
+    auto it = l.events().find("host/kernel");
+    ASSERT_NE(it, l.events().end());
+    EXPECT_EQ(it->second.count, 2u);
+    EXPECT_DOUBLE_EQ(it->second.cost.joules, 3.0);
+}
+
+TEST(Ledger, AttributionNeverChangesTotal)
+{
+    EnergyLedger l;
+    l.post("accel", {1.0, 10.0});
+    Cost before = l.total();
+    l.attribute("dram", 6.0);
+    l.attribute("logic", 3.0);
+    l.attribute("noc", 1.0);
+    EXPECT_DOUBLE_EQ(l.total().seconds, before.seconds);
+    EXPECT_DOUBLE_EQ(l.total().joules, before.joules);
+    EXPECT_DOUBLE_EQ(l.energyByComponent().get("dram"), 6.0);
+    EXPECT_DOUBLE_EQ(l.energyByComponent().get("logic"), 3.0);
+}
+
+TEST(Ledger, NotesAreZeroCostEvents)
+{
+    EnergyLedger l;
+    l.note("dispatch/axpy/accel");
+    l.note("dispatch/axpy/accel");
+    EXPECT_DOUBLE_EQ(l.total().seconds, 0.0);
+    EXPECT_DOUBLE_EQ(l.total().joules, 0.0);
+    auto it = l.events().find("dispatch/axpy/accel");
+    ASSERT_NE(it, l.events().end());
+    EXPECT_EQ(it->second.count, 2u);
+}
+
+TEST(Ledger, GflopsPerWattUsesRunTotals)
+{
+    EnergyLedger l;
+    l.post("host", {2.0, 10.0});
+    l.addFlops(20e9);
+    // 10 GFLOP/s at 5 W average power.
+    EXPECT_DOUBLE_EQ(l.gflopsPerWatt(), 2.0);
+    EXPECT_DOUBLE_EQ(l.edp(), 20.0);
+    EnergyLedger empty;
+    EXPECT_DOUBLE_EQ(empty.gflopsPerWatt(), 0.0);
+}
+
+TEST(Ledger, ResetClearsEverything)
+{
+    EnergyLedger l;
+    l.post("host", {1.0, 1.0}, "k");
+    l.attribute("host", 1.0);
+    l.addFlops(1e9);
+    l.reset();
+    EXPECT_DOUBLE_EQ(l.total().joules, 0.0);
+    EXPECT_TRUE(l.tracks().empty());
+    EXPECT_TRUE(l.events().empty());
+    EXPECT_TRUE(l.energyByComponent().parts().empty());
+    EXPECT_DOUBLE_EQ(l.flops(), 0.0);
+}
+
+TEST(Ledger, JsonCarriesMachineTracksAndComponents)
+{
+    EnergyLedger l;
+    l.post("accel", {0.25, 1.5}, "execute");
+    l.attribute("dram", 1.0);
+    l.note("dispatch/dot/host");
+    std::string j = l.toJson("haswell4770k");
+    EXPECT_NE(j.find("\"machine\": \"haswell4770k\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"accel\""), std::string::npos);
+    EXPECT_NE(j.find("\"dram\": 1"), std::string::npos);
+    EXPECT_NE(j.find("\"dispatch/dot/host\""), std::string::npos);
+    EXPECT_NE(j.find("\"gflops_per_watt\""), std::string::npos);
 }
 
 } // namespace

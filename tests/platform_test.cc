@@ -1,10 +1,15 @@
 // Tests for the platform-comparison layer: Table 2 workloads, Fig. 9
 // performance ordering and Fig. 10 energy-efficiency ordering.
 
+#include <cstring>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
+#include "hwmodel/profile.hh"
 #include "mealib/platform.hh"
+#include "runtime/runtime.hh"
 
 namespace mealib::eval {
 namespace {
@@ -235,6 +240,76 @@ TEST(Eval, ShardedEvaluationRequiresCostOnlyRuntime)
     EXPECT_FALSE(st.ok());
     EXPECT_EQ(st.code(), ErrorCode::InvalidArgument);
     EXPECT_EQ(r.flops, -1.0) << "result must be untouched on error";
+}
+
+TEST(MachineSwitch, RuntimeDefaultsFollowActiveProfile)
+{
+    runtime::RuntimeConfig hw_cfg;
+    EXPECT_EQ(hw_cfg.hostCpu.name,
+              hwmodel::profile("haswell4770k").cpu.name);
+    hwmodel::setActiveMachine("phi");
+    runtime::RuntimeConfig phi_cfg;
+    hwmodel::setActiveMachine("haswell4770k");
+    EXPECT_EQ(phi_cfg.hostCpu.name,
+              hwmodel::profile("xeonphi5110p").cpu.name);
+    EXPECT_NE(hw_cfg.hostCpu.idleW, phi_cfg.hostCpu.idleW);
+    // The 3D stack and mesh are machine-independent.
+    EXPECT_EQ(hw_cfg.dram.name, phi_cfg.dram.name);
+}
+
+TEST(MachineSwitch, PhiChangesModeledCostNotFunctionalOutput)
+{
+    // The tentpole invariant of MEALIB_MACHINE / --machine: selecting
+    // the Phi profile re-prices the modeled time/energy, but the
+    // functional pipeline's numerical output is bit-for-bit identical.
+    auto run = [](std::vector<float> *out, Cost *modeled) {
+        runtime::RuntimeConfig cfg;
+        cfg.backingBytes = 64_MiB;
+        runtime::MealibRuntime rt(cfg);
+        const std::int64_t n = 4096;
+        auto *x = static_cast<float *>(rt.memAlloc(n * 4));
+        auto *y = static_cast<float *>(rt.memAlloc(n * 4));
+        for (std::int64_t i = 0; i < n; ++i) {
+            x[i] = 0.25f * static_cast<float>(i % 1000) - 100.0f;
+            y[i] = 1.0f / (1.0f + static_cast<float>(i % 37));
+        }
+        accel::OpCall c;
+        c.kind = AccelKind::AXPY;
+        c.n = n;
+        c.alpha = 1.5f;
+        c.beta = 1.0f;
+        c.in0.base = rt.physOf(x);
+        c.out.base = rt.physOf(y);
+        accel::DescriptorProgram prog;
+        prog.addComp(c);
+        prog.addPassEnd();
+        runtime::AccPlanHandle h = rt.accPlan(prog);
+        rt.accExecute(h);
+        rt.accDestroy(h);
+        // A host-side stage, priced by the active machine's CPU model.
+        host::KernelProfile prof;
+        prof.name = "stage";
+        prof.flops = 1e9;
+        prof.bytesRead = 64.0 * 1024 * 1024;
+        prof.bytesWritten = 16.0 * 1024 * 1024;
+        rt.runOnHost(prof);
+        out->assign(y, y + n);
+        *modeled = rt.accounting().total();
+    };
+
+    std::vector<float> hw_out, phi_out;
+    Cost hw_cost, phi_cost;
+    run(&hw_out, &hw_cost);
+    hwmodel::setActiveMachine("phi");
+    run(&phi_out, &phi_cost);
+    hwmodel::setActiveMachine("haswell4770k");
+
+    ASSERT_EQ(hw_out.size(), phi_out.size());
+    for (std::size_t i = 0; i < hw_out.size(); ++i)
+        ASSERT_EQ(std::memcmp(&hw_out[i], &phi_out[i], 4), 0)
+            << "functional output diverged at " << i;
+    EXPECT_NE(hw_cost.seconds, phi_cost.seconds);
+    EXPECT_NE(hw_cost.joules, phi_cost.joules);
 }
 
 } // namespace

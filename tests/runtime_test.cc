@@ -397,5 +397,108 @@ TEST(Runtime, LoopDescriptorCheaperThanManyDescriptors)
     EXPECT_GT(t_sw, 2.0 * t_hw);
 }
 
+// --- cross-layer energy ledger ---------------------------------------
+
+namespace {
+
+/** One small AXPY descriptor executed on @p rt. */
+void
+runLedgerAxpy(MealibRuntime &rt)
+{
+    const std::int64_t n = 8192;
+    auto *x = static_cast<float *>(rt.memAlloc(n * 4));
+    auto *y = static_cast<float *>(rt.memAlloc(n * 4));
+    for (std::int64_t i = 0; i < n; ++i) {
+        x[i] = static_cast<float>(i);
+        y[i] = 0.5f;
+    }
+    OpCall c;
+    c.kind = AccelKind::AXPY;
+    c.n = n;
+    c.alpha = 3.0f;
+    c.beta = 1.0f;
+    c.in0.base = rt.physOf(x);
+    c.out.base = rt.physOf(y);
+    DescriptorProgram prog;
+    prog.addComp(c);
+    prog.addPassEnd();
+    AccPlanHandle h = rt.accPlan(prog);
+    rt.accExecute(h);
+    rt.accDestroy(h);
+}
+
+} // namespace
+
+TEST(Ledger, TotalsMirrorAccountingExactly)
+{
+    // The runtime posts to its ledger at exactly the points it updates
+    // RuntimeAccounting, so the two views of the run agree bit for bit.
+    MealibRuntime rt(smallConfig());
+    runLedgerAxpy(rt);
+
+    host::KernelProfile prof;
+    prof.name = "stage";
+    prof.flops = 1e8;
+    prof.bytesRead = 1 << 24;
+    prof.bytesWritten = 1 << 22;
+    rt.runOnHost(prof);
+
+    const Cost acct = rt.accounting().total();
+    const Cost ledger = rt.ledger().total();
+    EXPECT_DOUBLE_EQ(ledger.seconds, acct.seconds);
+    EXPECT_DOUBLE_EQ(ledger.joules, acct.joules);
+    EXPECT_GT(ledger.joules, 0.0);
+
+    // Track view: accel + invocation + host partition the total.
+    EXPECT_DOUBLE_EQ(rt.ledger().track("accel").seconds,
+                     rt.accounting().accel.seconds);
+    EXPECT_DOUBLE_EQ(rt.ledger().track("host").joules,
+                     rt.accounting().host.joules);
+    EXPECT_DOUBLE_EQ(rt.ledger().track("invocation").joules,
+                     rt.accounting().invocation.joules);
+
+    // Component attribution (dram/logic/noc/host/invocation/...) is a
+    // partition of the same joules.
+    double attributed = 0.0;
+    for (const auto &[name, j] :
+         rt.ledger().energyByComponent().parts())
+        attributed += j;
+    EXPECT_NEAR(attributed, ledger.joules, 1e-12 * ledger.joules);
+}
+
+TEST(Ledger, ResetAccountingClearsTheLedger)
+{
+    MealibRuntime rt(smallConfig());
+    runLedgerAxpy(rt);
+    ASSERT_GT(rt.ledger().total().joules, 0.0);
+    rt.resetAccounting();
+    EXPECT_DOUBLE_EQ(rt.ledger().total().seconds, 0.0);
+    EXPECT_DOUBLE_EQ(rt.ledger().total().joules, 0.0);
+    EXPECT_TRUE(rt.ledger().tracks().empty());
+}
+
+TEST(Ledger, FaultFallbackPostsToTheHostTrack)
+{
+    // Every command hangs with a zero retry budget: the work completes
+    // on the host and the recovery cost lands on the ledger's host
+    // track, keeping the ledger == accounting identity intact.
+    RuntimeConfig cfg = smallConfig();
+    cfg.fault.seed = 7;
+    cfg.fault.hangRate = 1.0;
+    cfg.retry.maxRetries = 0;
+    MealibRuntime rt(cfg);
+    runLedgerAxpy(rt);
+
+    ASSERT_GT(rt.accounting().fallbackCount, 0u);
+    const Cost acct = rt.accounting().total();
+    const Cost ledger = rt.ledger().total();
+    EXPECT_DOUBLE_EQ(ledger.seconds, acct.seconds);
+    EXPECT_DOUBLE_EQ(ledger.joules, acct.joules);
+    auto ev = rt.ledger().events().find("host/fault_fallback");
+    ASSERT_NE(ev, rt.ledger().events().end());
+    EXPECT_GE(ev->second.count, 1u);
+    EXPECT_GT(rt.ledger().track("host").joules, 0.0);
+}
+
 } // namespace
 } // namespace mealib::runtime

@@ -9,7 +9,8 @@
  *              [--repeat=N] [--fault-seed=S] [--fault-rate=R]
  *              [--fail-stack=S[@N]] [--watchdog-us=T]
  *              [--max-retries=K] [--offload-policy=P]
- *              [--dispatch-json=PATH]
+ *              [--dispatch-json=PATH] [--machine=M]
+ *              [--energy-json=PATH]
  *
  * Parameter files referenced by COMP blocks are loaded from --params
  * (default: the TDL file's directory). `$symbol` placeholders are
@@ -44,6 +45,13 @@
  * telemetry (calls, decisions, fallbacks, bytes) as JSON; it implies
  * the dispatcher with the host policy when --offload-policy is absent.
  * Without either flag the legacy wholesale path runs untouched.
+ *
+ * --machine=M selects the hardware-model profile every layer prices
+ * against (haswell4770k | xeonphi5110p, aliases haswell | phi); it
+ * overrides the MEALIB_MACHINE environment variable and defaults to
+ * haswell4770k. --energy-json=PATH writes the runtime's energy ledger
+ * (per-track costs, component attribution, EDP, GFLOPS/W; schema in
+ * docs/MODEL.md) after the run.
  */
 
 #include <cstdio>
@@ -62,6 +70,7 @@
 #include "dispatch/models.hh"
 #include "dispatch/policy.hh"
 #include "dram/stack.hh"
+#include "hwmodel/profile.hh"
 #include "runtime/runtime.hh"
 #include "s2s/compiler.hh"
 #include "tdl/codegen.hh"
@@ -118,11 +127,25 @@ parseBindings(const std::string &spec)
  * are priced as native host execution; accel decisions submit through
  * the asynchronous queue engine.
  */
+/** Write the runtime's energy ledger as JSON (--energy-json). */
+void
+writeEnergyJson(const runtime::MealibRuntime &rt,
+                const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "cannot write '", path, "'");
+    out << rt.ledger().toJson(hwmodel::activeMachineName()) << "\n";
+    std::printf("energy ledger written to %s\n", path.c_str());
+}
+
 int
 runDispatched(runtime::MealibRuntime &rt,
               const runtime::RuntimeConfig &cfg,
               const accel::DescriptorProgram &prog, std::uint64_t repeat,
-              const std::string &policyName, const std::string &jsonPath)
+              const std::string &policyName, const std::string &jsonPath,
+              const std::string &energyJsonPath)
 {
     auto policy = dispatch::makePolicy(policyName);
     fatalIf(policy == nullptr, "--offload-policy '", policyName,
@@ -131,6 +154,9 @@ runDispatched(runtime::MealibRuntime &rt,
     disp.setCostModel(std::make_shared<dispatch::RooflineCostModel>());
     dispatch::RuntimeBackend backend(rt);
     disp.attachBackend(&backend);
+    // Decisions land in the runtime's ledger as zero-cost notes, so the
+    // --energy-json record shows where every call went.
+    disp.attachLedger(&rt.ledger());
 
     struct Unit
     {
@@ -167,7 +193,7 @@ runDispatched(runtime::MealibRuntime &rt,
                     rt.stack(0).release(dram::Owner::Accelerator);
                 }
                 rt.runOnHost(dispatch::hostKernelProfile(
-                    dispatch::HostKind::Haswell, u.call, u.loop));
+                    hwmodel::activeProfile(), u.call, u.loop));
             });
         }
     }
@@ -218,6 +244,8 @@ runDispatched(runtime::MealibRuntime &rt,
         std::printf("dispatch telemetry written to %s\n",
                     jsonPath.c_str());
     }
+    writeEnergyJson(rt, energyJsonPath);
+    disp.detachLedger();
     disp.detachBackend();
     return 0;
 }
@@ -249,6 +277,12 @@ main(int argc, char **argv)
                                    binds);
         };
         accel::DescriptorProgram prog = tdl::compileTdl(tdl, resolve);
+
+        // Must precede RuntimeConfig: its defaults come from the active
+        // machine profile.
+        const std::string machine = cli.get("machine", "");
+        if (!machine.empty())
+            hwmodel::setActiveMachine(machine);
 
         runtime::RuntimeConfig cfg;
         cfg.functional = !cli.has("cost-only");
@@ -292,11 +326,12 @@ main(int argc, char **argv)
 
         const std::string policy_name = cli.get("offload-policy", "");
         const std::string dispatch_json = cli.get("dispatch-json", "");
+        const std::string energy_json = cli.get("energy-json", "");
         if (!policy_name.empty() || !dispatch_json.empty())
             return runDispatched(
                 rt, cfg, prog, repeat,
                 policy_name.empty() ? "host" : policy_name,
-                dispatch_json);
+                dispatch_json, energy_json);
 
         runtime::AccPlanHandle plan = rt.accPlan(prog);
         accel::ExecStats stats;
@@ -364,6 +399,7 @@ main(int argc, char **argv)
                         rt.healthyStackCount(), rt.numStacks(),
                         acct.fallbackSeconds * 1e3);
         }
+        writeEnergyJson(rt, energy_json);
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
