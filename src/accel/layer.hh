@@ -59,6 +59,15 @@ struct ExecStats
     bool fellBack = false;    //!< completed on the host, not this layer
     Cost faultPenalty;        //!< retry/backoff/watchdog cost included
                               //!< in @c total (zero when faults are off)
+
+    // --- integrity & checkpoint outcome (filled by the runtime) --------
+    /** Operand verification + checkpoint journaling cost, included in
+     * @c total (zero unless integrity/checkpointing is enabled). */
+    Cost integrity;
+    /** Checkpoint snapshots written for this command. */
+    std::uint64_t checkpoints = 0;
+    /** Completed after resuming from a committed checkpoint. */
+    bool resumed = false;
 };
 
 /** The accelerator layer attached to one memory stack. */

@@ -32,6 +32,17 @@ class RuntimeBackend final : public AccelBackend
 
     Status execute(const OpDesc &desc) override;
 
+    /** Selectable (not failed, not quarantined) stacks over total, so
+     * the dispatcher's cost comparisons track substrate health. */
+    double
+    healthyFraction() const override
+    {
+        const unsigned total = rt_.numStacks();
+        if (total == 0)
+            return 0.0;
+        return static_cast<double>(rt_.selectableStackCount()) / total;
+    }
+
     runtime::MealibRuntime &runtime() { return rt_; }
 
   private:

@@ -1,8 +1,48 @@
 #include "dispatch/dispatcher.hh"
 
+#include <limits>
+
 #include "dispatch/models.hh"
 
 namespace mealib::dispatch {
+
+namespace {
+
+/**
+ * Cost adapter for a partially degraded accelerator substrate: with
+ * only a fraction of the stacks selectable, per-call accelerator
+ * throughput shrinks proportionally (commands queue behind each other
+ * on the survivors), so modeled accelSeconds is divided by the healthy
+ * fraction before the policy compares sides.
+ */
+class DegradedCosts final : public CostModel
+{
+  public:
+    DegradedCosts(const CostModel &base, double healthyFraction)
+        : base_(base), frac_(healthyFraction)
+    {
+    }
+
+    double
+    hostSeconds(const OpDesc &desc) const override
+    {
+        return base_.hostSeconds(desc);
+    }
+
+    double
+    accelSeconds(const OpDesc &desc) const override
+    {
+        if (frac_ <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        return base_.accelSeconds(desc) / frac_;
+    }
+
+  private:
+    const CostModel &base_;
+    double frac_;
+};
+
+} // namespace
 
 Dispatcher::Dispatcher() : policy_(std::make_unique<HostOnly>()) {}
 
@@ -71,7 +111,15 @@ Dispatcher::detachLedger()
 Backend
 Dispatcher::decideLocked(const OpDesc &desc)
 {
-    return policy_->decide(desc, costs_.get());
+    const CostModel *costs = costs_.get();
+    if (costs != nullptr && backend_ != nullptr) {
+        const double frac = backend_->healthyFraction();
+        if (frac < 1.0) {
+            DegradedCosts adapted(*costs, frac);
+            return policy_->decide(desc, &adapted);
+        }
+    }
+    return policy_->decide(desc, costs);
 }
 
 void

@@ -41,6 +41,16 @@ class AccelBackend
     virtual ~AccelBackend() = default;
     virtual const char *name() const = 0;
     virtual Status execute(const OpDesc &desc) = 0;
+
+    /**
+     * Fraction of the accelerator substrate currently able to take new
+     * work, in [0, 1] (selectable stacks / total stacks for the runtime
+     * backend: failed and quarantined stacks don't count). The
+     * dispatcher divides modeled accelSeconds by this so offload
+     * decisions price in a degraded substrate; 0 prices every accel
+     * estimate at +inf.
+     */
+    virtual double healthyFraction() const { return 1.0; }
 };
 
 /** Policy-driven host/accelerator dispatch with telemetry. */

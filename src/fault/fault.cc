@@ -1,5 +1,7 @@
 #include "fault/fault.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace mealib::fault {
@@ -22,6 +24,8 @@ name(FaultKind kind)
         return "compute_transient";
       case FaultKind::StackFailure:
         return "stack_failure";
+      case FaultKind::SilentCorruption:
+        return "silent_corruption";
       default:
         panic("name: bad fault kind");
     }
@@ -35,29 +39,50 @@ transient(FaultKind kind)
       case FaultKind::LinkCrc:
       case FaultKind::CommandHang:
       case FaultKind::ComputeTransient:
+      case FaultKind::SilentCorruption:
         return true;
       default:
         return false;
     }
 }
 
-void
+Status
 FaultConfig::validate() const
 {
+    // A bad rate is a caller error the embedding system must be able to
+    // survive (reject the config, keep serving) — report it as a
+    // Status instead of killing the process.
     auto check = [](double rate, const char *what) {
-        fatalIf(rate < 0.0 || rate > 1.0, "fault config: ", what,
-                " rate ", rate, " outside [0, 1]");
+        if (std::isnan(rate) || rate < 0.0 || rate > 1.0) {
+            return Status::error(
+                ErrorCode::InvalidArgument,
+                std::string("fault config: ") + what + " rate " +
+                    std::to_string(rate) + " outside [0, 1]");
+        }
+        return Status();
     };
-    check(eccCorrectableRate, "ECC-correctable");
-    check(eccUncorrectableRate, "ECC-uncorrectable");
-    check(linkCrcRate, "link-CRC");
-    check(hangRate, "hang");
-    check(computeTransientRate, "compute-transient");
+    if (Status s = check(eccCorrectableRate, "ECC-correctable");
+        !s.ok())
+        return s;
+    if (Status s = check(eccUncorrectableRate, "ECC-uncorrectable");
+        !s.ok())
+        return s;
+    if (Status s = check(linkCrcRate, "link-CRC"); !s.ok())
+        return s;
+    if (Status s = check(hangRate, "hang"); !s.ok())
+        return s;
+    if (Status s = check(computeTransientRate, "compute-transient");
+        !s.ok())
+        return s;
+    if (Status s = check(silentCorruptionRate, "silent-corruption");
+        !s.ok())
+        return s;
+    return Status();
 }
 
 FaultModel::FaultModel(const FaultConfig &cfg) : cfg_(cfg)
 {
-    cfg_.validate();
+    cfg_.validate().orThrow();
 }
 
 FaultPlan
@@ -98,6 +123,16 @@ FaultModel::roll(std::uint64_t command, unsigned attempt) const
         plan.failure = FaultKind::ComputeTransient;
     if (plan.failure != FaultKind::None)
         plan.failFraction = u_frac;
+
+    // Drawn after every pre-existing source so arming silent corruption
+    // never shifts the older sources' streams: a (seed, workload) pair
+    // injects the same ECC/CRC/hang/transient faults it always did.
+    const double u_silent = rng.uniform();
+    if (plan.failure == FaultKind::None &&
+        u_silent < cfg_.silentCorruptionRate) {
+        plan.silent = true;
+        plan.failFraction = u_frac; // corruption point, for bookkeeping
+    }
     return plan;
 }
 

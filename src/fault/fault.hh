@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/status.hh"
 
 namespace mealib::fault {
 
@@ -40,6 +41,7 @@ enum class FaultKind
     CommandHang,      //!< accelerator command never raises DONE
     ComputeTransient, //!< PE produced a detectably wrong result
     StackFailure,     //!< permanent: the whole stack stops answering
+    SilentCorruption, //!< corruption that escaped link CRC / vault ECC
 };
 
 /** Printable fault name ("ecc_correctable", "link_crc", ...). */
@@ -63,6 +65,10 @@ struct FaultConfig
     double linkCrcRate = 0.0;          //!< SerDes CRC failure
     double hangRate = 0.0;             //!< command hang (watchdog case)
     double computeTransientRate = 0.0; //!< transient PE fault
+    /** Corruption that escapes both the link CRC and the vault ECC:
+     * invisible to the hardware's own checks, detectable only by the
+     * runtime's end-to-end operand verification (docs/FAULTS.md). */
+    double silentCorruptionRate = 0.0;
 
     /** Scripted permanent failure: stack @c failStack dies right before
      * global command @c failStackAfter is submitted (kNoStack = never).
@@ -77,11 +83,12 @@ struct FaultConfig
     {
         return eccCorrectableRate > 0.0 || eccUncorrectableRate > 0.0 ||
                linkCrcRate > 0.0 || hangRate > 0.0 ||
-               computeTransientRate > 0.0 || failStack != kNoStack;
+               computeTransientRate > 0.0 ||
+               silentCorruptionRate > 0.0 || failStack != kNoStack;
     }
 
-    /** fatal() if any rate is outside [0, 1]. */
-    void validate() const;
+    /** InvalidArgument if any rate is outside [0, 1] or not finite. */
+    Status validate() const;
 };
 
 /** One injected fault, as recorded in the model's history log. */
@@ -105,8 +112,13 @@ struct FaultPlan
     bool hang = false;                 //!< DONE never arrives
     FaultKind failure = FaultKind::None; //!< fatal transient, or None
     double failFraction = 0.0;         //!< span fraction before detection
+    /** Corruption neither the CRC nor the ECC noticed: the attempt
+     * "succeeds" as far as the hardware can tell. Only end-to-end
+     * operand verification turns this into a detected failure. */
+    bool silent = false;
 
-    /** @return whether the attempt completes successfully. */
+    /** @return whether the attempt completes as far as the hardware's
+     * own checks can tell (a silent corruption still "succeeds"). */
     bool
     succeeds() const
     {

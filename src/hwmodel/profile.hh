@@ -72,6 +72,16 @@ struct MachineProfile
     dram::DramParams stackDram; //!< the 3D stack under the accelerators
     noc::MeshParams mesh;       //!< accelerator-layer NoC
 
+    // --- integrity & checkpoint pricing (docs/FAULTS.md) ---------------
+    /** Streaming end-to-end checksum throughput (CRC32C-style unit on
+     * the host / logic layer), bytes per second. */
+    double checksumBytesPerSecond = 20.0e9;
+    /** Checksum compute + compare energy per byte streamed. */
+    double checksumJPerByte = 4.0e-12;
+    /** Checkpoint snapshot write energy per journaled byte (a read +
+     * write round trip through the stack, TSV crossings included). */
+    double journalJPerByte = 15.0e-12;
+
     const HostOpEfficiency &
     opEfficiency(accel::AccelKind kind) const
     {

@@ -117,6 +117,36 @@ accessIntervals(const accel::DescriptorProgram &prog)
     return out;
 }
 
+bool
+rerunSafe(const accel::DescriptorProgram &prog)
+{
+    for (const Instr &in : prog.instrs) {
+        if (in.type != Instr::Type::Comp)
+            continue;
+        const OpCall &c = in.call;
+        // Accumulating forms read their own previous output: replaying
+        // them doubles the accumulation.
+        if ((c.kind == AccelKind::AXPY || c.kind == AccelKind::GEMV) &&
+            c.beta != 0.0f)
+            return false;
+        // In-place updates: a write operand overlapping a read operand
+        // destroys the input a replay would need.
+        const std::vector<OperandSpan> spans = operandSpans(c);
+        for (const OperandSpan &w : spans) {
+            if (!w.write)
+                continue;
+            const AccessInterval wiv = expand(w, LoopSpec{});
+            for (const OperandSpan &r : spans) {
+                if (r.write)
+                    continue;
+                if (wiv.overlaps(expand(r, LoopSpec{})))
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
 const char *
 name(EventState state)
 {
@@ -127,6 +157,8 @@ name(EventState state)
         return "done";
       case EventState::Retried:
         return "retried";
+      case EventState::Resumed:
+        return "resumed";
       case EventState::FellBack:
         return "fell_back";
       case EventState::TimedOut:
@@ -142,6 +174,7 @@ bool
 completed(EventState state)
 {
     return state == EventState::Done || state == EventState::Retried ||
+           state == EventState::Resumed ||
            state == EventState::FellBack;
 }
 

@@ -36,6 +36,10 @@ class MealibRuntime;
  *   DONE       clean completion on the scheduled stack;
  *   RETRIED    completed on an accelerator after >= 1 retried attempt
  *              (transient faults absorbed by the retry policy);
+ *   RESUMED    completed on an accelerator after resuming from a
+ *              committed checkpoint (mid-span retry, or a drain to a
+ *              surviving stack after stack death) instead of
+ *              re-executing from iteration zero;
  *   FELL_BACK  completed, but on the host via the minimkl fallback path
  *              (retry budget exhausted, watchdog fired, or every stack
  *              failed);
@@ -49,6 +53,7 @@ enum class EventState
     Pending = 0,
     Done,
     Retried,
+    Resumed,
     FellBack,
     TimedOut,
     Failed,
@@ -89,6 +94,16 @@ struct AccessInterval
 std::vector<AccessInterval>
 accessIntervals(const accel::DescriptorProgram &prog);
 
+/**
+ * Whether every COMP in @p prog can be re-executed from scratch (or
+ * from a checkpoint) without changing its results: no accumulating
+ * AXPY/GEMV (beta != 0 reads the previous output) and no write operand
+ * overlapping a read operand (in-place updates). Mirrors the dispatch
+ * layer's OpDesc::rerunSafe for descriptor programs; the checkpoint
+ * layer only journals rerunSafe programs.
+ */
+bool rerunSafe(const accel::DescriptorProgram &prog);
+
 namespace detail {
 
 /** Shared completion record of one submitted command. */
@@ -110,6 +125,12 @@ struct EventState
     bool onHost = false;        //!< completed via host fallback
     double spanSeconds = 0.0;   //!< accelerator occupancy (for drains)
     std::vector<AccessInterval> intervals; //!< hazard footprint copy
+
+    // --- checkpoint/replay (docs/FAULTS.md) ----------------------------
+    std::uint64_t command = 0;  //!< global submission index
+    /** Span fraction between committed checkpoints (0 = program is not
+     * checkpointed: rerun-unsafe, or checkpointing disabled). */
+    double checkpointStep = 0.0;
 };
 
 } // namespace detail

@@ -1,0 +1,51 @@
+#include "runtime/journal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mealib::runtime {
+
+Status
+CheckpointConfig::validate() const
+{
+    if (!std::isfinite(journalJPerByte) || journalJPerByte < 0.0) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "checkpoint config: journal joules/byte "
+                             "must be finite and >= 0");
+    }
+    return Status();
+}
+
+void
+ReplayJournal::record(const CheckpointRecord &rec)
+{
+    log_.push_back(rec);
+    std::vector<double> &fr = byCommand_[rec.command];
+    // Commit order is ascending within a command; keep it sorted even
+    // if a retry re-commits an earlier position.
+    fr.insert(std::upper_bound(fr.begin(), fr.end(), rec.fraction),
+              rec.fraction);
+}
+
+double
+ReplayJournal::lastFractionAtOrBefore(std::uint64_t command,
+                                      double fraction) const
+{
+    auto it = byCommand_.find(command);
+    if (it == byCommand_.end())
+        return 0.0;
+    const std::vector<double> &fr = it->second;
+    auto ub = std::upper_bound(fr.begin(), fr.end(), fraction);
+    if (ub == fr.begin())
+        return 0.0;
+    return *(ub - 1);
+}
+
+void
+ReplayJournal::reset()
+{
+    log_.clear();
+    byCommand_.clear();
+}
+
+} // namespace mealib::runtime

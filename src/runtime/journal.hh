@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Command-granular checkpoint/replay journal (docs/FAULTS.md).
+ *
+ * A descriptor program is a sequence of expanded COMP iterations; the
+ * paper's runtime retries or re-executes the *whole* program when an
+ * attempt dies. For long rerunSafe programs that wastes most of the
+ * work already done. The checkpoint layer snapshots the program's
+ * written operand intervals every `intervalComps` expanded COMPs: the
+ * snapshot write is priced against the stack's internal bandwidth and
+ * the journal energy constant, and a committed snapshot lets a retry —
+ * or a drain to a surviving stack after stack death — resume from the
+ * last checkpoint instead of iteration zero.
+ *
+ * Snapshots are committed only after the attempt's end-to-end operand
+ * verification passes (integrity.hh), so a silently corrupt attempt
+ * never pollutes the journal: its snapshots are written (and priced)
+ * but discarded, and replay restarts from the previous good position.
+ *
+ * The journal is keyed by global submission index and records the
+ * DescriptorProgram position (expanded-COMP count and span fraction)
+ * of every committed snapshot, so resumption points are deterministic
+ * and inspectable by tests and the chaos harness.
+ */
+
+#ifndef MEALIB_RUNTIME_JOURNAL_HH
+#define MEALIB_RUNTIME_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace mealib::runtime {
+
+/** Checkpointing policy. Disabled by default (zero interval). */
+struct CheckpointConfig
+{
+    /** Expanded COMP iterations between snapshots; 0 disables
+     * checkpointing entirely. */
+    unsigned intervalComps = 0;
+
+    /** Snapshot write energy, joules per journaled byte (resolved from
+     * the active machine profile by RuntimeConfig's constructor). */
+    double journalJPerByte = 0.0;
+
+    bool enabled() const { return intervalComps > 0; }
+
+    /** InvalidArgument on negative or non-finite journal pricing. */
+    Status validate() const;
+};
+
+/** One committed snapshot: where in the program, and what it cost. */
+struct CheckpointRecord
+{
+    std::uint64_t command = 0; //!< global submission index
+    unsigned stack = 0;        //!< stack the snapshot was written on
+    std::uint64_t comps = 0;   //!< expanded COMPs covered
+    double fraction = 0.0;     //!< span fraction covered, in [0, 1)
+    std::uint64_t bytes = 0;   //!< operand bytes journaled
+};
+
+/** The committed-snapshot log, keyed by DescriptorProgram position. */
+class ReplayJournal
+{
+  public:
+    /** Append one committed snapshot. */
+    void record(const CheckpointRecord &rec);
+
+    /** Last committed span fraction of @p command at or before
+     * @p fraction (0 when nothing usable is committed). This is the
+     * position a drain resumes from when the stack dies @p fraction
+     * of the way through the command's span. */
+    double lastFractionAtOrBefore(std::uint64_t command,
+                                  double fraction) const;
+
+    /** Every committed snapshot, in commit order. */
+    const std::vector<CheckpointRecord> &log() const { return log_; }
+
+    /** Committed snapshots (accounting). */
+    std::uint64_t taken() const { return log_.size(); }
+
+    /** Drop everything (resetAccounting). */
+    void reset();
+
+  private:
+    std::vector<CheckpointRecord> log_;
+    /** Committed fractions per command, ascending. */
+    std::map<std::uint64_t, std::vector<double>> byCommand_;
+};
+
+} // namespace mealib::runtime
+
+#endif // MEALIB_RUNTIME_JOURNAL_HH

@@ -17,39 +17,73 @@ RuntimeConfig::RuntimeConfig()
     dram = m.stackDram;
     hostCpu = m.cpu;
     mesh = m.mesh;
+    integrity.checksumSecondsPerByte =
+        m.checksumBytesPerSecond > 0.0
+            ? 1.0 / m.checksumBytesPerSecond
+            : 0.0;
+    integrity.checksumJPerByte = m.checksumJPerByte;
+    checkpoint.journalJPerByte = m.journalJPerByte;
 }
 
-void
+Status
 RuntimeConfig::validate() const
 {
-    fatalIf(numStacks == 0, "runtime config: need at least one memory "
-            "stack (numStacks == 0)");
-    fatalIf(backingBytes == 0,
-            "runtime config: backing arena must be non-empty "
-            "(backingBytes == 0)");
-    fatalIf(commandBytes == 0,
-            "runtime config: command space must be non-empty "
-            "(commandBytes == 0)");
+    // A bad configuration is a caller error an embedding system must be
+    // able to reject and survive — report InvalidArgument instead of
+    // killing the process. The constructor turns a non-ok Status into a
+    // MealibError via orThrow().
+    auto err = [](std::string msg) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             std::move(msg));
+    };
+    if (numStacks == 0) {
+        return err("runtime config: need at least one memory stack "
+                   "(numStacks == 0)");
+    }
+    if (backingBytes == 0) {
+        return err("runtime config: backing arena must be non-empty "
+                   "(backingBytes == 0)");
+    }
+    if (commandBytes == 0) {
+        return err("runtime config: command space must be non-empty "
+                   "(commandBytes == 0)");
+    }
     const std::uint64_t span = backingBytes / numStacks;
-    fatalIf(commandBytes >= span,
-            "runtime config: command space (", commandBytes,
-            " B) swallows stack 0's data region (", span,
-            " B per stack); grow backingBytes or shrink commandBytes");
-    fatalIf(queueDepth == 0,
-            "runtime config: per-stack command queues need a depth of "
-            "at least 1 (queueDepth == 0)");
-    fault.validate();
-    fatalIf(fault.failStack != fault::kNoStack &&
-                fault.failStack >= numStacks,
-            "runtime config: scripted failure targets stack ",
-            fault.failStack, " but only ", numStacks,
-            " stacks are configured");
-    fatalIf(watchdogSeconds <= 0.0,
-            "runtime config: watchdog timeout must be positive");
-    fatalIf(retry.backoffBaseSeconds < 0.0,
-            "runtime config: retry backoff base must be >= 0");
-    fatalIf(retry.backoffMultiplier < 1.0,
-            "runtime config: retry backoff multiplier must be >= 1");
+    if (commandBytes >= span) {
+        return err("runtime config: command space (" +
+                   std::to_string(commandBytes) +
+                   " B) swallows stack 0's data region (" +
+                   std::to_string(span) +
+                   " B per stack); grow backingBytes or shrink "
+                   "commandBytes");
+    }
+    if (queueDepth == 0) {
+        return err("runtime config: per-stack command queues need a "
+                   "depth of at least 1 (queueDepth == 0)");
+    }
+    if (Status s = fault.validate(); !s.ok())
+        return s;
+    if (fault.failStack != fault::kNoStack &&
+        fault.failStack >= numStacks) {
+        return err("runtime config: scripted failure targets stack " +
+                   std::to_string(fault.failStack) + " but only " +
+                   std::to_string(numStacks) +
+                   " stacks are configured");
+    }
+    if (watchdogSeconds <= 0.0)
+        return err("runtime config: watchdog timeout must be positive");
+    if (retry.backoffBaseSeconds < 0.0)
+        return err("runtime config: retry backoff base must be >= 0");
+    if (retry.backoffMultiplier < 1.0)
+        return err("runtime config: retry backoff multiplier must be "
+                   ">= 1");
+    if (Status s = integrity.validate(); !s.ok())
+        return s;
+    if (Status s = checkpoint.validate(); !s.ok())
+        return s;
+    if (Status s = health.validate(); !s.ok())
+        return s;
+    return Status();
 }
 
 namespace {
@@ -58,7 +92,7 @@ namespace {
 const RuntimeConfig &
 validated(const RuntimeConfig &cfg)
 {
-    cfg.validate();
+    cfg.validate().orThrow();
     return cfg;
 }
 
@@ -68,7 +102,8 @@ MealibRuntime::MealibRuntime(const RuntimeConfig &cfg)
     : cfg_(validated(cfg)),
       mem_(std::make_unique<dram::PhysMem>(cfg.backingBytes)),
       host_(cfg.hostCpu), faults_(cfg.fault), mesh_(cfg.mesh),
-      slowdown_(cfg.numStacks, 1.0)
+      slowdown_(cfg.numStacks, 1.0),
+      health_(cfg.health, cfg.numStacks)
 {
     const std::uint64_t span = cfg.backingBytes / cfg.numStacks;
     // The driver reserves the contiguous region and splits it: command
@@ -196,6 +231,17 @@ MealibRuntime::accPlan(const accel::DescriptorProgram &prog)
     // Hazard footprint for the asynchronous submit path.
     plan.intervals = accessIntervals(prog);
 
+    // Integrity/checkpoint footprint: the operand bytes a verification
+    // pass streams, and the written bytes a snapshot journals.
+    plan.expandedComps = prog.expandedCompCount();
+    plan.rerunSafe = rerunSafe(prog);
+    for (const AccessInterval &iv : plan.intervals) {
+        const std::uint64_t n = iv.hi > iv.lo ? iv.hi - iv.lo : 0;
+        plan.transferBytes += n;
+        if (iv.write)
+            plan.writeBytes += n;
+    }
+
     AccPlanHandle h = nextHandle_++;
     plans_.emplace(h, std::move(plan));
     return h;
@@ -291,11 +337,19 @@ MealibRuntime::accSubmit(AccPlanHandle handle)
     fatalIf(it == plans_.end(), "accSubmit: unknown plan handle ",
             handle);
     applyScriptedFailure();
+    // Promote quarantined stacks whose cooldown has elapsed, then give
+    // any probation stack the next scheduler-routed command as its
+    // canary: the probe costs one real command, not synthetic traffic.
+    for (unsigned st : health_.beginCommand(cmdIndex_))
+        sched_->setAvailable(st, true);
     unsigned home = homeStackOf(it->second.prog);
     // With no survivor left the target is moot: accSubmitOn reroutes an
     // unhealthy target to the host (or a FAILED event) on its own.
     unsigned target =
         sched_->healthyCount() > 0 ? sched_->pick(home) : home;
+    const unsigned canary = health_.canaryTarget();
+    if (canary != StackHealthMonitor::kNone && !sched_->failed(canary))
+        target = canary;
     return accSubmitOn(handle, target);
 }
 
@@ -317,6 +371,8 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     Plan &plan = it->second;
 
     applyScriptedFailure();
+    for (unsigned st : health_.beginCommand(cmdIndex_))
+        sched_->setAvailable(st, true);
     if (sched_->failed(stackIdx)) {
         // The caller's target is dead: steer to a survivor, fall back
         // to the host, or report the loss — never submit to it.
@@ -353,9 +409,37 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     accel::DescriptorProgram prog =
         accel::decode(img, plan.descBytes);
 
+    // End-to-end verification, functional side: checksum the read-only
+    // operand intervals before and after the execute. The fault model
+    // never corrupts real buffers (faults shape cost, not values), so
+    // a mismatch here means the functional engine itself scribbled
+    // over an input — a broken invariant worth catching in situ.
+    const bool verifyFunctional =
+        cfg_.functional && cfg_.integrity.enabled();
+    auto readChecksum = [&]() {
+        fault::Checksum ck;
+        for (const AccessInterval &iv : plan.intervals) {
+            if (iv.write)
+                continue;
+            const Addr lo = std::min<Addr>(iv.lo, mem_->size());
+            const Addr hi = std::min<Addr>(iv.hi, mem_->size());
+            if (hi > lo)
+                ck.update(mem_->raw(lo, hi - lo), hi - lo);
+        }
+        return ck.value();
+    };
+    const std::uint64_t srcSum = verifyFunctional ? readChecksum() : 0;
+
     stacks_[stackIdx]->acquire(dram::Owner::Accelerator);
     accel::ExecStats es = layers_[stackIdx]->execute(prog, *mem_);
     stacks_[stackIdx]->release(dram::Owner::Accelerator);
+
+    if (verifyFunctional) {
+        panicIf(readChecksum() != srcSum,
+                "integrity: read-only operand bytes changed during "
+                "execution (functional engine corrupted an input "
+                "interval)");
+    }
 
     // Inter-stack traffic for operands left on stacks remote to the
     // one that executed the plan.
@@ -377,13 +461,65 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     // above were computed exactly once and are final either way: faults
     // only shape cost, occupancy and the event's terminal state.
     const std::uint64_t cmd = cmdIndex_++;
+    // Host-side source checksum: one pass over the operand footprint
+    // before the transfer (the re-verify passes after link crossings
+    // and vault reads are stack-side, charged per attempt below).
+    Cost integHost;
+    if (cfg_.integrity.enabled())
+        integHost = fault::checksumCost(cfg_.integrity,
+                                        static_cast<double>(
+                                            plan.transferBytes));
     Attempts at;
     if (faults_.enabled()) {
-        at = resolveAttempts(cmd, stackIdx, accelSpan, accelJoules);
+        at = resolveAttempts(cmd, stackIdx, accelSpan, accelJoules,
+                             plan);
         es.retries = at.retries;
         es.faultPenalty = at.penalty;
         es.total += at.penalty;
         acct_.retryCount += at.retries;
+    } else {
+        // Fault-free: one stack-side re-verify pass and the base
+        // checkpoint schedule (the overhead the chaos harness trades
+        // against recovery latency). This is exactly where the faulty
+        // path converges as every rate goes to zero.
+        if (cfg_.integrity.enabled())
+            at.integrity += fault::checksumCost(
+                cfg_.integrity,
+                static_cast<double>(plan.transferBytes));
+        if (checkpointed(plan)) {
+            const std::uint64_t comps = plan.expandedComps;
+            const std::uint64_t ival = cfg_.checkpoint.intervalComps;
+            const std::uint64_t last = (comps - 1) / ival;
+            const Cost snap = snapshotCost(plan);
+            for (std::uint64_t k = 1; k <= last; ++k) {
+                at.integrity += snap;
+                journal_.record({cmd, stackIdx, k * ival,
+                                 static_cast<double>(k * ival) /
+                                     static_cast<double>(comps),
+                                 plan.writeBytes});
+            }
+            at.checkpoints = last;
+        }
+        at.occupancySeconds = accelSpan + at.integrity.seconds;
+    }
+    es.integrity = at.integrity + integHost;
+    es.total += es.integrity;
+    es.checkpoints = at.checkpoints;
+    es.resumed = at.resumed;
+    acct_.integrity += es.integrity;
+    acct_.silentDetected += at.silentDetected;
+    acct_.silentUndetected += at.silentUndetected;
+    acct_.checkpointsTaken += at.checkpoints;
+
+    // Feed the health monitor: a command counts as faulted when it
+    // needed the recovery ladder (in-line corrected ECC is latency, not
+    // a health signal). A struck-out stack dies after this command's
+    // event is placed, so the drain below re-homes it too.
+    unsigned strikeOut = StackHealthMonitor::kNone;
+    if (faults_.enabled() && health_.enabled()) {
+        const bool faulted = at.retries > 0 || !at.success ||
+                             at.silentDetected > 0;
+        strikeOut = recordHealth(stackIdx, cmd, faulted);
     }
 
     // Fold the software-side invocation costs into the stats.
@@ -391,8 +527,10 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     es.total += flush + handshake;
 
     acct_.invocation += es.invocation;
-    Cost accel_only{es.total.seconds - es.invocation.seconds,
-                    es.total.joules - es.invocation.joules};
+    Cost accel_only{es.total.seconds - es.invocation.seconds -
+                        es.integrity.seconds,
+                    es.total.joules - es.invocation.joules -
+                        es.integrity.joules};
     acct_.accel += accel_only;
     for (const auto &[k, v] : es.timeByAccel.parts())
         acct_.timeByAccel.add(k, v);
@@ -412,10 +550,14 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     if (es.faultPenalty.joules != 0.0)
         ledger_.attribute("fault", es.faultPenalty.joules);
     ledger_.attribute("invocation", es.invocation.joules);
+    if (es.integrity.seconds != 0.0 || es.integrity.joules != 0.0) {
+        ledger_.post("integrity", es.integrity, "verify+journal");
+        ledger_.attribute("integrity", es.integrity.joules);
+    }
     ledger_.addFlops(es.flops);
 
     // --- timeline: place the command on its stack's queue -------------
-    hostWork(flush.seconds + handshake.seconds);
+    hostWork(flush.seconds + handshake.seconds + integHost.seconds);
     CommandQueue &q = queues_[stackIdx];
     hostWaitUntil(q.admitSeconds(hostSeconds_)); // stall on a full queue
     q.retireUpTo(hostSeconds_);
@@ -432,10 +574,10 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
             if (iv.conflictsWith(pa.interval))
                 ready = std::max(ready, pa.finishSeconds);
 
-    // Stack occupancy: clean span plus any fault-recovery time, scaled
-    // by the stack's degradation factor (1.0 while healthy — exact).
-    const double spanBase =
-        faults_.enabled() ? at.occupancySeconds : accelSpan;
+    // Stack occupancy: clean span plus verification, journaling and any
+    // fault-recovery time, scaled by the stack's degradation factor
+    // (1.0 while healthy — exact).
+    const double spanBase = at.occupancySeconds;
     const double occupancy = spanBase * slowdown_[stackIdx];
 
     const double start = std::max(ready, q.busyUntilSeconds());
@@ -453,13 +595,24 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     state->epoch = epoch_;
     state->spanSeconds = spanBase;
     state->intervals = plan.intervals;
+    state->command = cmd;
+    // Replay granularity for a post-hoc stack death: the fraction of
+    // the command one checkpoint interval covers (0 = not replayable).
+    state->checkpointStep =
+        checkpointed(plan) && plan.expandedComps > 0
+            ? static_cast<double>(cfg_.checkpoint.intervalComps) /
+                  static_cast<double>(plan.expandedComps)
+            : 0.0;
 
     for (const AccessInterval &iv : plan.intervals)
         pending_.push_back({iv, finish, state->id});
 
     if (at.success) {
-        state->state = at.retries ? EventState::Retried
-                                  : EventState::Done;
+        state->state = at.resumed  ? EventState::Resumed
+                       : at.retries ? EventState::Retried
+                                    : EventState::Done;
+        if (at.resumed)
+            acct_.resumedFromCheckpoint++;
         state->stats = es;
         inflight_.push_back(state);
     } else if (cfg_.retry.hostFallback) {
@@ -500,6 +653,10 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
         inflight_.push_back(state);
     }
     updateMakespan();
+    // A struck-out stack dies only after this command's event has been
+    // placed, so the failStack drain re-homes it along with the rest.
+    if (strikeOut != StackHealthMonitor::kNone)
+        failStack(strikeOut);
     return Event(this, state);
 }
 
@@ -574,6 +731,7 @@ MealibRuntime::failStack(unsigned stackIdx)
     if (sched_->failed(stackIdx))
         return;
     sched_->markFailed(stackIdx);
+    health_.markDead(stackIdx);
     faults_.record({fault::FaultKind::StackFailure, stackIdx,
                     cmdIndex_, 0});
 
@@ -609,13 +767,36 @@ MealibRuntime::failStack(unsigned stackIdx)
                 for (const AccessInterval &iv : state->intervals)
                     if (iv.conflictsWith(pa.interval))
                         ready = std::max(ready, pa.finishSeconds);
-            const double span = state->spanSeconds * slowdown_[dest];
+            // Checkpoint replay: resume from the last snapshot the
+            // dead stack committed before the command's execution
+            // point, instead of re-running the command from scratch.
+            double resumeFrac = 0.0;
+            if (state->checkpointStep > 0.0) {
+                const double total =
+                    state->finishSeconds - state->startSeconds;
+                const double execFrac =
+                    total > 0.0
+                        ? std::clamp((now - state->startSeconds) /
+                                         total,
+                                     0.0, 1.0)
+                        : 0.0;
+                resumeFrac = journal_.lastFractionAtOrBefore(
+                    state->command, execFrac);
+            }
+            const double span = state->spanSeconds *
+                                (1.0 - resumeFrac) * slowdown_[dest];
             q2.push(ready, ready + span);
             acct_.busyByStack.add("stack" + std::to_string(dest), span);
             state->stack = dest;
             state->startSeconds = ready;
             state->finishSeconds = ready + span;
-            state->state = EventState::Retried;
+            if (resumeFrac > 0.0) {
+                state->state = EventState::Resumed;
+                state->stats.resumed = true;
+                acct_.resumedFromCheckpoint++;
+            } else {
+                state->state = EventState::Retried;
+            }
             for (const AccessInterval &iv : state->intervals)
                 pending_.push_back({iv, state->finishSeconds,
                                     state->id});
@@ -677,17 +858,120 @@ MealibRuntime::stackSlowdown(unsigned stackIdx) const
     return slowdown_[stackIdx];
 }
 
+StackHealth
+MealibRuntime::stackHealth(unsigned stackIdx) const
+{
+    fatalIf(stackIdx >= cfg_.numStacks, "stackHealth: stack ",
+            stackIdx, " out of range (", cfg_.numStacks, " stacks)");
+    return health_.state(stackIdx);
+}
+
+unsigned
+MealibRuntime::selectableStackCount() const
+{
+    return sched_->selectableCount();
+}
+
+unsigned
+MealibRuntime::recordHealth(unsigned stackIdx, std::uint64_t cmd,
+                            bool faulted)
+{
+    const StackHealthMonitor::Action act =
+        health_.recordOutcome(stackIdx, cmd, faulted);
+    acct_.quarantines = health_.quarantines();
+    acct_.readmissions = health_.readmissions();
+    switch (act) {
+    case StackHealthMonitor::Action::Quarantine:
+        sched_->setAvailable(stackIdx, false);
+        break;
+    case StackHealthMonitor::Action::Readmit:
+        sched_->setAvailable(stackIdx, true);
+        break;
+    case StackHealthMonitor::Action::Die:
+        sched_->setAvailable(stackIdx, false);
+        return stackIdx;
+    case StackHealthMonitor::Action::None:
+        break;
+    }
+    return StackHealthMonitor::kNone;
+}
+
+bool
+MealibRuntime::checkpointed(const Plan &plan) const
+{
+    // Only rerun-safe programs checkpoint: resuming an unsafe one from
+    // a snapshot would re-apply an accumulation or re-read an already
+    // overwritten input, so those keep whole-command retry semantics.
+    return cfg_.checkpoint.enabled() && plan.rerunSafe &&
+           plan.expandedComps > 0;
+}
+
+Cost
+MealibRuntime::snapshotCost(const Plan &plan) const
+{
+    // One snapshot journals the command's written intervals through the
+    // stack-internal TSV bandwidth — a read+write round trip priced by
+    // the machine profile's journal energy.
+    Cost c;
+    const double bw = cfg_.dram.peakInternalBandwidth();
+    const double bytes = static_cast<double>(plan.writeBytes);
+    if (bw > 0.0)
+        c.seconds = bytes / bw;
+    c.joules = bytes * cfg_.checkpoint.journalJPerByte;
+    return c;
+}
+
 MealibRuntime::Attempts
 MealibRuntime::resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
-                               double spanSeconds, double accelJoules)
+                               double spanSeconds, double accelJoules,
+                               const Plan &plan)
 {
     /** HMC-style request packet re-sent after a CRC failure. */
     constexpr std::uint64_t kCrcPacketBytes = 128;
 
+    const bool integrityOn = cfg_.integrity.enabled();
+    const bool ckpt = checkpointed(plan);
+    const std::uint64_t comps = plan.expandedComps;
+    const std::uint64_t ival = ckpt ? cfg_.checkpoint.intervalComps : 0;
+    const std::uint64_t kmax = ckpt ? (comps - 1) / ival : 0;
+    const Cost snap = ckpt ? snapshotCost(plan) : Cost{};
+    const Cost verify =
+        integrityOn
+            ? fault::checksumCost(
+                  cfg_.integrity,
+                  static_cast<double>(plan.transferBytes))
+            : Cost{};
+
     Attempts at;
     const dram::Stack &st = *stacks_[stackIdx];
+    // Comps whose results a *committed* checkpoint already holds: a
+    // retry resumes past them instead of re-running the whole command.
+    // Snapshots commit only once their provenance is trusted —
+    // immediately at the failure point for detected faults (the
+    // hardware knows where it died), but only after the end-of-attempt
+    // verification for silent corruption (commit-on-verify).
+    std::uint64_t committed = 0;
+    auto commitUpTo = [&](std::uint64_t newK) {
+        for (std::uint64_t k = committed / ival + 1; k <= newK; ++k) {
+            at.integrity += snap;
+            journal_.record({cmd, stackIdx, k * ival,
+                             static_cast<double>(k * ival) /
+                                 static_cast<double>(comps),
+                             plan.writeBytes});
+            at.checkpoints++;
+        }
+        committed = newK * ival;
+    };
     double backoff = cfg_.retry.backoffBaseSeconds;
     for (unsigned attempt = 0;; ++attempt) {
+        // Fraction of the command this attempt still has to execute.
+        const double base =
+            ckpt && comps ? static_cast<double>(committed) /
+                                static_cast<double>(comps)
+                          : 0.0;
+        const double attemptFrac = 1.0 - base;
+        if (base > 0.0)
+            at.resumed = true;
         fault::FaultPlan p = faults_.roll(cmd, attempt);
         if (p.eccCorrected > 0) {
             // In-line vault ECC corrections: latency-only, the attempt
@@ -699,13 +983,56 @@ MealibRuntime::resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
                             cmd, attempt});
         }
         if (p.succeeds()) {
-            at.success = true;
-            at.retries = attempt;
-            at.occupancySeconds = spanSeconds + at.penalty.seconds;
-            return at;
-        }
-        if (p.hang) {
+            // The attempt ran to completion; the stack-side re-verify
+            // pass is the end-to-end integrity check.
+            if (integrityOn)
+                at.integrity += verify;
+            const bool detected = p.silent && integrityOn;
+            if (p.silent && !integrityOn) {
+                // Undetected silent corruption: the run "succeeds"
+                // carrying wrong data. Counted for the chaos harness;
+                // the functional results stay the clean ones (the
+                // fault model shapes cost, never values).
+                at.silentUndetected++;
+                faults_.record({fault::FaultKind::SilentCorruption,
+                                stackIdx, cmd, attempt});
+            }
+            if (!detected) {
+                if (ckpt && kmax > 0)
+                    commitUpTo(kmax);
+                at.success = true;
+                at.retries = attempt;
+                if (base > 0.0) {
+                    // The resumed attempt skipped the committed
+                    // prefix; credit the span it never executed.
+                    at.penalty.seconds -= base * spanSeconds;
+                    at.penalty.joules -= base * accelJoules;
+                }
+                at.occupancySeconds = spanSeconds +
+                                      at.penalty.seconds +
+                                      at.integrity.seconds;
+                return at;
+            }
+            // Verification caught the corruption at end of attempt:
+            // the whole attempt span is wasted, and its snapshots were
+            // written but never commit — the corruption point is
+            // unknown, so none of them can be trusted.
+            at.silentDetected++;
+            faults_.record({fault::FaultKind::SilentCorruption,
+                            stackIdx, cmd, attempt});
+            at.lastFault = fault::FaultKind::SilentCorruption;
+            at.penalty.seconds += spanSeconds * attemptFrac;
+            at.penalty.joules += accelJoules * attemptFrac;
+            if (ckpt) {
+                const std::uint64_t crossed = kmax - committed / ival;
+                for (std::uint64_t k = 0; k < crossed; ++k)
+                    at.integrity += snap;
+                at.checkpoints += crossed;
+            }
+        } else if (p.hang) {
             // DONE never arrives; the watchdog reclaims the stack.
+            // Nothing executed, so no verify pass and no checkpoint
+            // advances.
             at.penalty.seconds += cfg_.watchdogSeconds;
             acct_.watchdogFires++;
             faults_.record({fault::FaultKind::CommandHang, stackIdx,
@@ -713,10 +1040,12 @@ MealibRuntime::resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
             at.lastFault = fault::FaultKind::CommandHang;
         } else {
             // A transient fault killed the attempt partway through:
-            // the span fraction already executed is wasted, plus the
-            // fault's own detection / replay penalty.
-            at.penalty.seconds += spanSeconds * p.failFraction;
-            at.penalty.joules += accelJoules * p.failFraction;
+            // the attempt-span fraction already executed is wasted,
+            // plus the fault's own detection / replay penalty.
+            at.penalty.seconds +=
+                spanSeconds * attemptFrac * p.failFraction;
+            at.penalty.joules +=
+                accelJoules * attemptFrac * p.failFraction;
             if (p.failure == fault::FaultKind::LinkCrc)
                 at.penalty += mesh_.crcReplayCost(kCrcPacketBytes);
             else if (p.failure == fault::FaultKind::EccUncorrectable)
@@ -724,11 +1053,30 @@ MealibRuntime::resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
                     st.eccUncorrectableDetectSeconds();
             faults_.record({p.failure, stackIdx, cmd, attempt});
             at.lastFault = p.failure;
+            // The fault was *detected* at the failure point, so every
+            // snapshot crossed before it is trusted and commits — the
+            // next attempt resumes from the last of them.
+            if (ckpt) {
+                const std::uint64_t execComps =
+                    committed +
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(comps - committed) *
+                        p.failFraction);
+                const std::uint64_t newK =
+                    std::min(execComps / ival, kmax);
+                if (newK > committed / ival)
+                    commitUpTo(newK);
+            }
         }
         if (attempt >= cfg_.retry.maxRetries) {
             at.success = false;
             at.retries = cfg_.retry.maxRetries;
-            at.occupancySeconds = at.penalty.seconds;
+            at.occupancySeconds =
+                at.penalty.seconds + at.integrity.seconds;
+            at.committedFraction =
+                comps ? static_cast<double>(committed) /
+                            static_cast<double>(comps)
+                      : 0.0;
             return at;
         }
         at.penalty.seconds += backoff;
@@ -851,6 +1199,8 @@ MealibRuntime::resetAccounting()
     cmdIndex_ = 0;
     faults_.reset();
     slowdown_.assign(cfg_.numStacks, 1.0);
+    health_.reset();
+    journal_.reset();
 }
 
 const accel::ExecStats &

@@ -42,10 +42,13 @@
 #include "dram/physmem.hh"
 #include "dram/stack.hh"
 #include "fault/fault.hh"
+#include "fault/integrity.hh"
 #include "host/cpu.hh"
 #include "noc/mesh.hh"
 #include "runtime/alloc.hh"
 #include "runtime/event.hh"
+#include "runtime/health.hh"
+#include "runtime/journal.hh"
 #include "runtime/queue.hh"
 #include "runtime/scheduler.hh"
 
@@ -97,12 +100,22 @@ struct RuntimeConfig
      * declared dead after this long and handed to the retry policy. */
     double watchdogSeconds = 100.0e-6;
 
+    /** End-to-end operand verification (off by default; pricing
+     * resolved from the active machine profile). */
+    fault::IntegrityConfig integrity;
+    /** Command-granular checkpoint/replay (off by default). */
+    CheckpointConfig checkpoint;
+    /** Stack quarantine / re-admission policy (off by default). */
+    HealthConfig health;
+
     RuntimeConfig();
 
-    /** fatal() with a descriptive message if the configuration is
-     * inconsistent (zero-sized spaces, command space swallowing a
-     * stack, no stacks, zero queue depth). */
-    void validate() const;
+    /** InvalidArgument with a descriptive message if the configuration
+     * is inconsistent (zero-sized spaces, command space swallowing a
+     * stack, no stacks, zero queue depth, bad fault rates or health
+     * thresholds). The runtime constructor throws MealibError on a
+     * non-ok validate(). */
+    Status validate() const;
 };
 
 /** Opaque plan handle (the acc_plan of Listing 2). */
@@ -114,6 +127,9 @@ struct RuntimeAccounting
     Cost host;        //!< host-executed (compute-bounded) work
     Cost accel;       //!< accelerator-executed work
     Cost invocation;  //!< flush + descriptor copy + config overheads
+    /** Operand verification + checkpoint journaling (zero unless the
+     * integrity/checkpoint layers are enabled). */
+    Cost integrity;
     Breakdown timeByAccel;
     Breakdown energyByAccel;
 
@@ -140,10 +156,24 @@ struct RuntimeAccounting
     /** In-line corrected ECC events (latency-only). */
     std::uint64_t eccCorrected = 0;
 
+    // --- integrity / checkpoint / health view (docs/FAULTS.md) --------
+    /** Silent corruptions caught by end-to-end verification. */
+    std::uint64_t silentDetected = 0;
+    /** Silent corruptions that sailed through (verification off). */
+    std::uint64_t silentUndetected = 0;
+    /** Checkpoint snapshots committed to the replay journal. */
+    std::uint64_t checkpointsTaken = 0;
+    /** Commands that completed by resuming from a checkpoint. */
+    std::uint64_t resumedFromCheckpoint = 0;
+    /** Healthy-to-quarantined transitions of the health monitor. */
+    std::uint64_t quarantines = 0;
+    /** Probation-to-healthy re-admissions of the health monitor. */
+    std::uint64_t readmissions = 0;
+
     Cost
     total() const
     {
-        return host + accel + invocation;
+        return host + accel + invocation + integrity;
     }
 
     /** Wall-clock saved by host/accelerator and stack/stack overlap:
@@ -273,6 +303,23 @@ class MealibRuntime
     /** The seeded fault injector (history log lives here). */
     const fault::FaultModel &faultModel() const { return faults_; }
 
+    // --- integrity, checkpointing & stack health (docs/FAULTS.md) ------
+
+    /** Lifecycle state of @p stack in the health monitor. */
+    StackHealth stackHealth(unsigned stack) const;
+
+    /** The quarantine/re-admission monitor (scores, strikes). */
+    const StackHealthMonitor &healthMonitor() const { return health_; }
+
+    /** The committed-checkpoint log. */
+    const ReplayJournal &journal() const { return journal_; }
+
+    /** Stacks neither failed nor quarantined: the set new submissions
+     * are steered to. The dispatch layer divides its accelerator cost
+     * estimates by selectable/total so offload decisions price in a
+     * degraded substrate. */
+    unsigned selectableStackCount() const;
+
     // --- host-side accounting ------------------------------------------
 
     /** Record compute-bounded work the host executed natively. The
@@ -315,6 +362,12 @@ class MealibRuntime
         std::uint64_t descBytes = 0;
         std::uint64_t dirtyBytes = 0; //!< footprint to flush
         std::vector<AccessInterval> intervals; //!< hazard footprint
+
+        // --- integrity & checkpoint footprint (docs/FAULTS.md) --------
+        std::uint64_t expandedComps = 0; //!< loop-expanded COMP count
+        bool rerunSafe = false;    //!< checkpointable (event.hh)
+        std::uint64_t transferBytes = 0; //!< verified operand bytes
+        std::uint64_t writeBytes = 0;    //!< journaled snapshot bytes
     };
 
     /** An in-flight command's hazard footprint on the timeline. */
@@ -379,9 +432,31 @@ class MealibRuntime
         double occupancySeconds = 0.0; //!< stack time incl. clean span
         Cost penalty;                  //!< extra over the clean cost
         fault::FaultKind lastFault = fault::FaultKind::None;
+        Cost integrity;       //!< verify + journal cost (in occupancy)
+        std::uint64_t checkpoints = 0; //!< snapshots written
+        bool resumed = false; //!< some attempt started mid-span
+        std::uint64_t silentDetected = 0;
+        std::uint64_t silentUndetected = 0;
+        /** Span fraction covered by a committed checkpoint when the
+         * ladder ends (replay journal position on exhaustion). */
+        double committedFraction = 0.0;
     };
     Attempts resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
-                             double spanSeconds, double accelJoules);
+                             double spanSeconds, double accelJoules,
+                             const Plan &plan);
+
+    /** Whether @p plan is checkpointed when running on the runtime's
+     * current configuration. */
+    bool checkpointed(const Plan &plan) const;
+
+    /** Modeled cost of writing one checkpoint snapshot of @p plan. */
+    Cost snapshotCost(const Plan &plan) const;
+
+    /** Health-monitor bookkeeping for one resolved command: feed the
+     * outcome, apply quarantine/re-admission to the scheduler, and
+     * @return a stack to permanently fail (kNone if none). */
+    unsigned recordHealth(unsigned stackIdx, std::uint64_t cmd,
+                          bool faulted);
 
     std::unique_ptr<ContigAllocator> cmdAlloc_;
     std::vector<std::unique_ptr<ContigAllocator>> dataAllocs_;
@@ -404,6 +479,10 @@ class MealibRuntime
     noc::Mesh mesh_; //!< CRC replay penalties on the SerDes/NoC links
     std::vector<double> slowdown_; //!< per-stack degradation factor
     std::uint64_t cmdIndex_ = 0;   //!< global submission counter
+
+    // --- integrity/checkpoint/health state (reset by resetAccounting) --
+    StackHealthMonitor health_;
+    ReplayJournal journal_;
 };
 
 } // namespace mealib::runtime

@@ -30,7 +30,7 @@ schedulerPolicy(const std::string &name)
 
 Scheduler::Scheduler(SchedulerPolicy policy, unsigned numStacks)
     : policy_(policy), numStacks_(numStacks), healthy_(numStacks),
-      failed_(numStacks, false)
+      failed_(numStacks, false), unavailable_(numStacks, false)
 {
     fatalIf(numStacks == 0, "scheduler: need at least one stack");
 }
@@ -53,22 +53,60 @@ Scheduler::failed(unsigned stack) const
 }
 
 void
+Scheduler::setAvailable(unsigned stack, bool available)
+{
+    fatalIf(stack >= numStacks_, "setAvailable: stack ", stack,
+            " out of range (", numStacks_, " stacks)");
+    unavailable_[stack] = !available;
+}
+
+bool
+Scheduler::available(unsigned stack) const
+{
+    return stack < numStacks_ && !unavailable_[stack];
+}
+
+unsigned
+Scheduler::selectableCount() const
+{
+    unsigned n = 0;
+    for (unsigned s = 0; s < numStacks_; ++s)
+        if (!failed_[s] && !unavailable_[s])
+            ++n;
+    return n;
+}
+
+bool
+Scheduler::preferred(unsigned stack) const
+{
+    return !failed_[stack] && !unavailable_[stack];
+}
+
+void
 Scheduler::reset()
 {
     next_ = 0;
     healthy_ = numStacks_;
     failed_.assign(numStacks_, false);
+    unavailable_.assign(numStacks_, false);
 }
 
 unsigned
 Scheduler::pick(unsigned homeStack)
 {
     panicIf(healthy_ == 0, "pick: every stack is marked failed");
+    // Quarantine is best-effort steering: honor the availability mask
+    // while it leaves a candidate, otherwise pick among every
+    // non-failed stack so submissions never strand.
+    const bool useMask = selectableCount() > 0;
+    auto pickable = [&](unsigned s) {
+        return useMask ? preferred(s) : !failed_[s];
+    };
     switch (policy_) {
       case SchedulerPolicy::RoundRobin:
         while (true) {
             unsigned s = next_++ % numStacks_;
-            if (!failed_[s])
+            if (pickable(s))
                 return s;
         }
       case SchedulerPolicy::Locality: {
@@ -77,7 +115,7 @@ Scheduler::pick(unsigned homeStack)
         // deterministic, and adjacent homes spread across survivors.
         for (unsigned i = 0; i < numStacks_; ++i) {
             unsigned cand = (s + i) % numStacks_;
-            if (!failed_[cand])
+            if (pickable(cand))
                 return cand;
         }
         panic("pick: no healthy stack found");

@@ -36,7 +36,13 @@ SchedulerPolicy schedulerPolicy(const std::string &name);
  * restores a freshly constructed ledger. Degradation-aware: stacks
  * marked failed are never picked — locality reroutes an unhealthy home
  * to the next healthy stack, round robin skips failed slots — so new
- * submissions steer away from dead hardware (docs/FAULTS.md). */
+ * submissions steer away from dead hardware (docs/FAULTS.md).
+ *
+ * On top of the permanent failed bitmap the scheduler keeps a soft
+ * availability mask driven by the stack health monitor: a quarantined
+ * stack is alive but not picked while any available stack remains.
+ * With every survivor quarantined at once, pick() falls back to the
+ * full non-failed set so submissions never strand. */
 class Scheduler
 {
   public:
@@ -57,6 +63,17 @@ class Scheduler
     /** Stacks not marked failed. */
     unsigned healthyCount() const { return healthy_; }
 
+    /** Soft availability (quarantine steering): an unavailable stack is
+     * skipped by pick() while an available one exists. No effect on a
+     * failed stack. */
+    void setAvailable(unsigned stack, bool available);
+
+    /** @return whether @p stack is currently available to pick(). */
+    bool available(unsigned stack) const;
+
+    /** Stacks neither failed nor quarantined (pick()'s preferred set). */
+    unsigned selectableCount() const;
+
     SchedulerPolicy policy() const { return policy_; }
 
     /** Restore construction-time state (used by resetAccounting),
@@ -64,11 +81,15 @@ class Scheduler
     void reset();
 
   private:
+    /** @return whether @p stack is in pick()'s preferred set. */
+    bool preferred(unsigned stack) const;
+
     SchedulerPolicy policy_;
     unsigned numStacks_;
     unsigned next_ = 0;
     unsigned healthy_;
     std::vector<bool> failed_;
+    std::vector<bool> unavailable_; //!< quarantined (soft, reversible)
 };
 
 } // namespace mealib::runtime

@@ -35,13 +35,13 @@ baseConfig(unsigned stacks = 2)
 
 AccPlanHandle
 planLoopedAxpy(MealibRuntime &rt, const float *x, float *y,
-               float alpha = 2.0f)
+               float alpha = 2.0f, float beta = 1.0f)
 {
     OpCall c;
     c.kind = AccelKind::AXPY;
     c.n = static_cast<std::uint64_t>(kSliceN);
     c.alpha = alpha;
-    c.beta = 1.0f;
+    c.beta = beta;
     c.in0.base = rt.physOf(x);
     c.out.base = rt.physOf(y);
     c.in0.stride = {kSliceN * 4, 0, 0, 0};
@@ -53,6 +53,14 @@ planLoopedAxpy(MealibRuntime &rt, const float *x, float *y,
     prog.addComp(c);
     prog.addPassEnd();
     return rt.accPlan(prog);
+}
+
+/** beta = 0 writes a disjoint interval it never reads: rerun-safe, so
+ * the checkpoint layer may snapshot and resume it (runtime.hh). */
+AccPlanHandle
+planRerunSafeAxpy(MealibRuntime &rt, const float *x, float *y)
+{
+    return planLoopedAxpy(rt, x, y, 2.0f, 0.0f);
 }
 
 /** Per-stack operand arrays of one workload instance. */
@@ -109,6 +117,14 @@ expectSameLedger(const RuntimeAccounting &a, const RuntimeAccounting &b)
     EXPECT_EQ(a.fallbackCount, b.fallbackCount);
     EXPECT_EQ(a.watchdogFires, b.watchdogFires);
     EXPECT_EQ(a.eccCorrected, b.eccCorrected);
+    EXPECT_EQ(a.integrity.seconds, b.integrity.seconds);
+    EXPECT_EQ(a.integrity.joules, b.integrity.joules);
+    EXPECT_EQ(a.silentDetected, b.silentDetected);
+    EXPECT_EQ(a.silentUndetected, b.silentUndetected);
+    EXPECT_EQ(a.checkpointsTaken, b.checkpointsTaken);
+    EXPECT_EQ(a.resumedFromCheckpoint, b.resumedFromCheckpoint);
+    EXPECT_EQ(a.quarantines, b.quarantines);
+    EXPECT_EQ(a.readmissions, b.readmissions);
     EXPECT_EQ(a.busyByStack.parts(), b.busyByStack.parts());
     EXPECT_EQ(a.timeByAccel.parts(), b.timeByAccel.parts());
     EXPECT_EQ(a.energyByAccel.parts(), b.energyByAccel.parts());
@@ -120,26 +136,33 @@ TEST(FaultConfig, RejectsRatesOutsideUnitInterval)
 {
     RuntimeConfig cfg = baseConfig();
     cfg.fault.hangRate = 1.5;
-    EXPECT_THROW(cfg.validate(), FatalError);
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::InvalidArgument);
     cfg.fault.hangRate = -0.1;
-    EXPECT_THROW(cfg.validate(), FatalError);
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::InvalidArgument);
+    // The runtime constructor converts the report into a recoverable
+    // MealibError (not a process-level FatalError).
+    EXPECT_THROW(MealibRuntime{cfg}, MealibError);
+    cfg.fault.hangRate = 0.0;
+    cfg.fault.silentCorruptionRate = 2.0;
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::InvalidArgument);
 }
 
 TEST(FaultConfig, RejectsScriptedFailureOutOfRange)
 {
     RuntimeConfig cfg = baseConfig(2);
     cfg.fault.failStack = 2;
-    EXPECT_THROW(cfg.validate(), FatalError);
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::InvalidArgument);
+    EXPECT_THROW(MealibRuntime{cfg}, MealibError);
 }
 
 TEST(FaultConfig, RejectsBadRetryAndWatchdog)
 {
     RuntimeConfig cfg = baseConfig();
     cfg.watchdogSeconds = 0.0;
-    EXPECT_THROW(cfg.validate(), FatalError);
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::InvalidArgument);
     cfg = baseConfig();
     cfg.retry.backoffMultiplier = 0.5;
-    EXPECT_THROW(cfg.validate(), FatalError);
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::InvalidArgument);
 }
 
 TEST(FaultConfig, DisabledByDefault)
@@ -361,6 +384,170 @@ TEST(FaultRecovery, CorrectedEccIsLatencyOnly)
     EXPECT_EQ(rt.accounting().eccCorrected, 1u);
     EXPECT_GT(ev.stats().faultPenalty.seconds, 0.0);
     EXPECT_EQ(rt.accounting().retryCount, 0u);
+}
+
+// --- end-to-end integrity ---------------------------------------------
+
+TEST(Integrity, SilentCorruptionCaughtAndRetried)
+{
+    // Every attempt silently corrupts; end-to-end verification turns
+    // each into a *detected* failure, the ladder exhausts its retries,
+    // and the command completes through the host. The functional
+    // results were computed once on the shared engine, so they still
+    // match a fault-free run bit-for-bit.
+    MealibRuntime clean(baseConfig(1));
+    Operands opsClean = fillOperands(clean);
+    clean.accSubmit(planLoopedAxpy(clean, opsClean.x[0], opsClean.y[0]));
+    clean.waitAll();
+
+    RuntimeConfig cfg = baseConfig(1);
+    cfg.fault.seed = 21;
+    cfg.fault.silentCorruptionRate = 1.0;
+    cfg.integrity.verifyTransfers = true;
+    cfg.retry.maxRetries = 2;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+
+    Event ev = rt.accSubmit(planLoopedAxpy(rt, ops.x[0], ops.y[0]));
+    EXPECT_EQ(ev.state(), EventState::FellBack);
+    EXPECT_EQ(rt.accounting().silentDetected, 3u); // initial try + 2
+    EXPECT_EQ(rt.accounting().silentUndetected, 0u);
+    EXPECT_EQ(rt.accounting().fallbackCount, 1u);
+    EXPECT_GT(rt.accounting().integrity.seconds, 0.0);
+    EXPECT_GT(ev.stats().integrity.seconds, 0.0);
+    bool sawSilent = false;
+    for (const fault::FaultEvent &fe : rt.faultModel().history())
+        sawSilent |= fe.kind == fault::FaultKind::SilentCorruption;
+    EXPECT_TRUE(sawSilent);
+    EXPECT_EQ(0, std::memcmp(opsClean.y[0], ops.y[0], kN * 4));
+}
+
+TEST(Integrity, SilentCorruptionMissedWithoutVerification)
+{
+    // With verification off the corruption sails through: the command
+    // reports Done and only the (test-visible) undetected counter knows.
+    RuntimeConfig cfg = baseConfig(1);
+    cfg.fault.seed = 21;
+    cfg.fault.silentCorruptionRate = 1.0;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+
+    Event ev = rt.accSubmit(planLoopedAxpy(rt, ops.x[0], ops.y[0]));
+    EXPECT_EQ(ev.state(), EventState::Done);
+    EXPECT_EQ(rt.accounting().silentDetected, 0u);
+    EXPECT_EQ(rt.accounting().silentUndetected, 1u);
+    EXPECT_EQ(rt.accounting().retryCount, 0u);
+    EXPECT_EQ(rt.accounting().integrity.seconds, 0.0);
+}
+
+TEST(Integrity, VerificationPricedOnIntegrityTrack)
+{
+    // Verification with no faults injected: a pure tax, priced from
+    // the machine profile, posted to the ledger's `integrity` track,
+    // and mirrored into the accounting so the two totals stay equal.
+    RuntimeConfig cfg = baseConfig();
+    cfg.integrity.verifyTransfers = true;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+    runWorkload(rt, ops);
+
+    const RuntimeAccounting &acct = rt.accounting();
+    EXPECT_GT(acct.integrity.seconds, 0.0);
+    EXPECT_GT(acct.integrity.joules, 0.0);
+    EXPECT_EQ(rt.ledger().track("integrity").seconds,
+              acct.integrity.seconds);
+    EXPECT_EQ(rt.ledger().track("integrity").joules,
+              acct.integrity.joules);
+    EXPECT_DOUBLE_EQ(rt.ledger().total().seconds, acct.total().seconds);
+    EXPECT_DOUBLE_EQ(rt.ledger().total().joules, acct.total().joules);
+
+    // Verification only reads: numerics match an unverified run.
+    MealibRuntime plain(baseConfig());
+    Operands opsPlain = fillOperands(plain);
+    runWorkload(plain, opsPlain);
+    for (unsigned s = 0; s < 2; ++s)
+        EXPECT_EQ(0, std::memcmp(opsPlain.y[s], ops.y[s], kN * 4));
+}
+
+// --- checkpoint/replay ------------------------------------------------
+
+TEST(Checkpoint, SnapshotsCommitAtConfiguredInterval)
+{
+    // 256 expanded COMPs at interval 64 commit snapshots at 25/50/75%
+    // of the span (never at 100% — the command is finished there).
+    RuntimeConfig cfg = baseConfig(1);
+    cfg.checkpoint.intervalComps = 64;
+    MealibRuntime rt(cfg);
+    Operands ops = fillOperands(rt);
+
+    Event ev = rt.accSubmit(planRerunSafeAxpy(rt, ops.x[0], ops.y[0]));
+    EXPECT_EQ(rt.journal().taken(), 3u);
+    EXPECT_EQ(rt.accounting().checkpointsTaken, 3u);
+    EXPECT_EQ(ev.stats().checkpoints, 3u);
+    EXPECT_GT(rt.accounting().integrity.joules, 0.0); // journal energy
+    const std::vector<CheckpointRecord> &log = rt.journal().log();
+    ASSERT_EQ(log.size(), 3u);
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_EQ(log[i].comps, 64u * (i + 1));
+        EXPECT_EQ(log[i].fraction, 0.25 * static_cast<double>(i + 1));
+        EXPECT_GT(log[i].bytes, 0u);
+    }
+
+    // A beta != 0 AXPY reads what it writes, so replaying a suffix
+    // would double-apply it: never checkpointed.
+    rt.accSubmit(planLoopedAxpy(rt, ops.x[0], ops.y[0]));
+    EXPECT_EQ(rt.journal().taken(), 3u);
+    rt.waitAll();
+}
+
+TEST(Checkpoint, ResumeRebatesReexecutedSpan)
+{
+    // Same seed, same rates, with and without checkpointing: the fault
+    // sequence is identical (checkpointing consumes no RNG draws), so
+    // the only delta is the resume rebate — every retry that restarts
+    // from a committed snapshot repays the span it no longer re-runs.
+    RuntimeConfig cfg = baseConfig();
+    cfg.fault.seed = 31;
+    cfg.fault.computeTransientRate = 0.5;
+    cfg.retry.maxRetries = 8;
+
+    auto penalty = [](std::vector<Event> &events) {
+        double s = 0.0;
+        for (Event &ev : events)
+            s += ev.stats().faultPenalty.seconds;
+        return s;
+    };
+    auto submitAll = [](MealibRuntime &rt, Operands &ops) {
+        std::vector<Event> events;
+        for (unsigned round = 0; round < 3; ++round)
+            for (unsigned s = 0; s < rt.numStacks(); ++s)
+                events.push_back(rt.accSubmit(
+                    planRerunSafeAxpy(rt, ops.x[s], ops.y[s])));
+        rt.waitAll();
+        return events;
+    };
+
+    MealibRuntime plain(cfg);
+    Operands opsPlain = fillOperands(plain);
+    std::vector<Event> evPlain = submitAll(plain, opsPlain);
+    ASSERT_GT(plain.accounting().retryCount, 0u);
+    EXPECT_EQ(plain.accounting().resumedFromCheckpoint, 0u);
+
+    cfg.checkpoint.intervalComps = 32;
+    MealibRuntime ckpt(cfg);
+    Operands opsCkpt = fillOperands(ckpt);
+    std::vector<Event> evCkpt = submitAll(ckpt, opsCkpt);
+
+    EXPECT_EQ(ckpt.accounting().retryCount,
+              plain.accounting().retryCount);
+    EXPECT_GT(ckpt.accounting().resumedFromCheckpoint, 0u);
+    EXPECT_LT(penalty(evCkpt), penalty(evPlain));
+    bool sawResumed = false;
+    for (Event &ev : evCkpt)
+        sawResumed |= ev.state() == EventState::Resumed;
+    EXPECT_TRUE(sawResumed);
+    for (unsigned s = 0; s < 2; ++s)
+        EXPECT_EQ(0, std::memcmp(opsPlain.y[s], opsCkpt.y[s], kN * 4));
 }
 
 // --- degradation-aware scheduling -------------------------------------

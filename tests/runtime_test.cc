@@ -35,47 +35,80 @@ smallConfig()
 TEST(RuntimeConfig, ValidationRejectsInconsistentConfigs)
 {
     RuntimeConfig cfg = smallConfig();
-    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_TRUE(cfg.validate().ok());
 
+    // validate() reports instead of throwing, so an embedding system
+    // can reject a bad config and survive; the runtime constructor
+    // turns the report into a recoverable MealibError.
     RuntimeConfig no_stacks = smallConfig();
     no_stacks.numStacks = 0;
-    EXPECT_THROW(no_stacks.validate(), FatalError);
-    EXPECT_THROW(MealibRuntime{no_stacks}, FatalError);
+    EXPECT_EQ(no_stacks.validate().code(), ErrorCode::InvalidArgument);
+    EXPECT_THROW(MealibRuntime{no_stacks}, MealibError);
 
     RuntimeConfig no_arena = smallConfig();
     no_arena.backingBytes = 0;
-    EXPECT_THROW(no_arena.validate(), FatalError);
-    EXPECT_THROW(MealibRuntime{no_arena}, FatalError);
+    EXPECT_EQ(no_arena.validate().code(), ErrorCode::InvalidArgument);
+    EXPECT_THROW(MealibRuntime{no_arena}, MealibError);
 
     RuntimeConfig no_cmd = smallConfig();
     no_cmd.commandBytes = 0;
-    EXPECT_THROW(no_cmd.validate(), FatalError);
-    EXPECT_THROW(MealibRuntime{no_cmd}, FatalError);
+    EXPECT_EQ(no_cmd.validate().code(), ErrorCode::InvalidArgument);
+    EXPECT_THROW(MealibRuntime{no_cmd}, MealibError);
 
     // Command space must leave room in stack 0's share of the arena.
     RuntimeConfig swallowed = smallConfig();
     swallowed.numStacks = 4;
     swallowed.commandBytes = swallowed.backingBytes / 4;
-    EXPECT_THROW(swallowed.validate(), FatalError);
-    EXPECT_THROW(MealibRuntime{swallowed}, FatalError);
+    EXPECT_EQ(swallowed.validate().code(), ErrorCode::InvalidArgument);
+    EXPECT_THROW(MealibRuntime{swallowed}, MealibError);
 
     RuntimeConfig no_depth = smallConfig();
     no_depth.queueDepth = 0;
-    EXPECT_THROW(no_depth.validate(), FatalError);
-    EXPECT_THROW(MealibRuntime{no_depth}, FatalError);
+    EXPECT_EQ(no_depth.validate().code(), ErrorCode::InvalidArgument);
+    EXPECT_THROW(MealibRuntime{no_depth}, MealibError);
 }
 
 TEST(RuntimeConfig, ValidationMessagesAreDescriptive)
 {
     RuntimeConfig bad = smallConfig();
     bad.numStacks = 0;
+    const Status s = bad.validate();
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("numStacks"), std::string::npos);
     try {
-        bad.validate();
-        FAIL() << "expected FatalError";
-    } catch (const FatalError &e) {
+        MealibRuntime rt{bad};
+        FAIL() << "expected MealibError";
+    } catch (const MealibError &e) {
         EXPECT_NE(std::string(e.what()).find("numStacks"),
                   std::string::npos);
     }
+}
+
+TEST(RuntimeConfig, ValidationRejectsBadIntegrityAndHealthSettings)
+{
+    RuntimeConfig bad_price = smallConfig();
+    bad_price.integrity.verifyTransfers = true;
+    bad_price.integrity.checksumSecondsPerByte = -1.0;
+    EXPECT_EQ(bad_price.validate().code(),
+              ErrorCode::InvalidArgument);
+
+    RuntimeConfig bad_journal = smallConfig();
+    bad_journal.checkpoint.intervalComps = 4;
+    bad_journal.checkpoint.journalJPerByte = -1.0;
+    EXPECT_EQ(bad_journal.validate().code(),
+              ErrorCode::InvalidArgument);
+
+    RuntimeConfig bad_threshold = smallConfig();
+    bad_threshold.health.quarantineThreshold = 1.5;
+    EXPECT_EQ(bad_threshold.validate().code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_THROW(MealibRuntime{bad_threshold}, MealibError);
+
+    RuntimeConfig bad_window = smallConfig();
+    bad_window.health.quarantineThreshold = 0.5;
+    bad_window.health.windowCommands = 0;
+    EXPECT_EQ(bad_window.validate().code(),
+              ErrorCode::InvalidArgument);
 }
 
 TEST(Runtime, MemAllocVirtualPhysicalRoundTrip)

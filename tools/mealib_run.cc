@@ -7,10 +7,19 @@
  *              [--cost-only] [--arena-mib=N] [--verbose]
  *              [--stacks=N] [--queue-depth=N] [--scheduler=P]
  *              [--repeat=N] [--fault-seed=S] [--fault-rate=R]
- *              [--fail-stack=S[@N]] [--watchdog-us=T]
- *              [--max-retries=K] [--offload-policy=P]
- *              [--dispatch-json=PATH] [--machine=M]
- *              [--energy-json=PATH]
+ *              [--silent-rate=R] [--fail-stack=S[@N]]
+ *              [--watchdog-us=T] [--max-retries=K] [--integrity]
+ *              [--checkpoint-interval=K] [--quarantine-threshold=T]
+ *              [--quarantine-window=N] [--quarantine-probation=N]
+ *              [--quarantine-canaries=N] [--quarantine-strikes=N]
+ *              [--offload-policy=P] [--dispatch-json=PATH]
+ *              [--machine=M] [--energy-json=PATH] [--help]
+ *
+ * Exit codes: 0 on success, 1 on an internal error, 2 on a usage /
+ * configuration error, 3 when a submitted command reached an
+ * unrecoverable terminal state (TIMED_OUT / FAILED) — the stderr line
+ * is structured as `mealib-run: command failed: state=<s> code=<c>
+ * message=<m>` so harnesses can parse it.
  *
  * Parameter files referenced by COMP blocks are loaded from --params
  * (default: the TDL file's directory). `$symbol` placeholders are
@@ -30,11 +39,24 @@
  * Fault injection (docs/FAULTS.md): --fault-rate=R arms every transient
  * source (corrected/uncorrectable ECC, link CRC, command hang, compute
  * fault) at a per-attempt probability R, rolled deterministically from
- * --fault-seed. --fail-stack=S kills stack S before the first command
- * (S@N: before global command N). --watchdog-us bounds a hung command;
- * --max-retries bounds the retry ladder before host fallback. The
- * summary then adds a degraded-mode line (retries, fallbacks, watchdog
- * fires, corrected ECC events).
+ * --fault-seed (which must be non-negative). --silent-rate=R
+ * additionally arms silent data corruption — only end-to-end
+ * verification (--integrity) can catch it. --fail-stack=S kills stack
+ * S before the first command (S@N: before global command N).
+ * --watchdog-us bounds a hung command; --max-retries bounds the retry
+ * ladder before host fallback. The summary then adds a degraded-mode
+ * line (retries, fallbacks, watchdog fires, corrected ECC events).
+ *
+ * Resilience layers (docs/FAULTS.md): --integrity prices per-transfer
+ * operand checksums (and catches injected silent corruption);
+ * --checkpoint-interval=K journals a snapshot every K expanded COMPs of
+ * rerun-safe programs, so retries and stack-death drains resume from
+ * the last committed checkpoint instead of re-running from scratch.
+ * --quarantine-threshold=T arms the stack health monitor: a stack whose
+ * sliding-window fault score reaches T is quarantined, re-admitted
+ * through a canary probation (--quarantine-window/-probation/-canaries
+ * configure the window and cooldown), and permanently failed after
+ * --quarantine-strikes failed probations (0 = never).
  *
  * --offload-policy=P (host | accel | crossover | calibrated) routes
  * every COMP of the program through the op-IR dispatcher
@@ -78,6 +100,65 @@
 using namespace mealib;
 
 namespace {
+
+void
+printHelp(const std::string &program)
+{
+    std::printf(
+        "usage: %s <program.tdl> [options]\n"
+        "\n"
+        "Execute a TDL program on the simulated MEALib system.\n"
+        "\n"
+        "general:\n"
+        "  --params=DIR           parameter-file directory (default:\n"
+        "                         the TDL file's directory)\n"
+        "  --bind=k=v,...         bind $symbol placeholders\n"
+        "  --cost-only            skip functional kernels, model only\n"
+        "  --arena-mib=N          backing arena size (default 64)\n"
+        "  --machine=M            haswell4770k | xeonphi5110p\n"
+        "  --verbose              verbose logging\n"
+        "  --help                 this text\n"
+        "\n"
+        "command-queue engine:\n"
+        "  --stacks=N             memory stacks (default 1)\n"
+        "  --queue-depth=N        per-stack queue depth (default 8)\n"
+        "  --scheduler=P          round_robin | locality\n"
+        "  --repeat=N             submit the program N times\n"
+        "\n"
+        "fault injection (docs/FAULTS.md):\n"
+        "  --fault-seed=S         injection seed (non-negative)\n"
+        "  --fault-rate=R         per-attempt probability, in [0,1],\n"
+        "                         armed for every transient source\n"
+        "  --silent-rate=R        silent-corruption probability; only\n"
+        "                         --integrity can catch these\n"
+        "  --fail-stack=S[@N]     kill stack S (before command N)\n"
+        "  --watchdog-us=T        hung-command watchdog (default 100)\n"
+        "  --max-retries=K        retry budget (default 3)\n"
+        "  --no-host-fallback     exhausted commands terminate\n"
+        "                         TIMED_OUT / FAILED (exit 3) instead\n"
+        "                         of re-running on the host\n"
+        "\n"
+        "resilience (docs/FAULTS.md):\n"
+        "  --integrity            per-transfer operand checksums\n"
+        "  --checkpoint-interval=K  journal a snapshot every K\n"
+        "                         expanded COMPs (0 = off)\n"
+        "  --quarantine-threshold=T  fault score arming quarantine,\n"
+        "                         in (0,1] (0 = off)\n"
+        "  --quarantine-window=N  sliding window, commands (16)\n"
+        "  --quarantine-probation=N  cooldown before probation (32)\n"
+        "  --quarantine-canaries=N   clean canaries to re-admit (2)\n"
+        "  --quarantine-strikes=N    probation failures before the\n"
+        "                         stack dies for good (0 = never)\n"
+        "\n"
+        "dispatch & output:\n"
+        "  --offload-policy=P     host | accel | crossover | calibrated\n"
+        "  --dispatch-json=PATH   per-kind dispatch telemetry\n"
+        "  --energy-json=PATH     energy-ledger JSON\n"
+        "\n"
+        "exit codes: 0 success, 1 internal error, 2 usage/config\n"
+        "error, 3 unrecoverable command (structured stderr).\n",
+        program.c_str());
+}
 
 std::string
 readFile(const std::string &path)
@@ -256,10 +337,13 @@ int
 main(int argc, char **argv)
 {
     Cli cli(argc, argv);
+    if (cli.has("help")) {
+        printHelp(cli.program());
+        return 0;
+    }
     if (cli.positional().empty()) {
         std::fprintf(stderr,
-                     "usage: %s <program.tdl> [--params=<dir>] "
-                     "[--bind=k=v,...] [--cost-only]\n",
+                     "usage: %s <program.tdl> [options]; see --help\n",
                      cli.program().c_str());
         return 2;
     }
@@ -292,18 +376,35 @@ main(int argc, char **argv)
         cfg.numStacks = static_cast<unsigned>(cli.getInt("stacks", 1));
         cfg.queueDepth =
             static_cast<unsigned>(cli.getInt("queue-depth", 8));
-        cfg.scheduler =
-            runtime::schedulerPolicy(cli.get("scheduler", "locality"));
+        const std::string sched = cli.get("scheduler", "locality");
+        if (sched != "round_robin" && sched != "rr" &&
+            sched != "locality") {
+            throw MealibError(Status::error(
+                ErrorCode::InvalidArgument,
+                "unknown scheduler policy '" + sched +
+                    "' (expected 'round_robin' or 'locality')"));
+        }
+        cfg.scheduler = runtime::schedulerPolicy(sched);
 
         // --- fault injection (docs/FAULTS.md) --------------------------
-        cfg.fault.seed = static_cast<std::uint64_t>(
-            cli.getInt("fault-seed", 0));
+        const std::int64_t seed = cli.getInt("fault-seed", 0);
+        if (seed < 0) {
+            std::fprintf(stderr,
+                         "%s: --fault-seed must be non-negative "
+                         "(got %lld)\n",
+                         cli.program().c_str(),
+                         static_cast<long long>(seed));
+            return 2;
+        }
+        cfg.fault.seed = static_cast<std::uint64_t>(seed);
         const double rate = cli.getDouble("fault-rate", 0.0);
         cfg.fault.eccCorrectableRate = rate;
         cfg.fault.eccUncorrectableRate = rate;
         cfg.fault.linkCrcRate = rate;
         cfg.fault.hangRate = rate;
         cfg.fault.computeTransientRate = rate;
+        cfg.fault.silentCorruptionRate =
+            cli.getDouble("silent-rate", 0.0);
         const std::string fail_spec = cli.get("fail-stack", "");
         if (!fail_spec.empty()) {
             auto at = fail_spec.find('@');
@@ -318,11 +419,35 @@ main(int argc, char **argv)
             1e-6;
         cfg.retry.maxRetries = static_cast<unsigned>(cli.getInt(
             "max-retries", cfg.retry.maxRetries));
+        if (cli.has("no-host-fallback"))
+            cfg.retry.hostFallback = false;
+
+        // --- integrity / checkpoint / health (docs/FAULTS.md) ----------
+        cfg.integrity.verifyTransfers = cli.has("integrity");
+        cfg.checkpoint.intervalComps = static_cast<unsigned>(
+            cli.getInt("checkpoint-interval", 0));
+        cfg.health.quarantineThreshold =
+            cli.getDouble("quarantine-threshold", 0.0);
+        cfg.health.windowCommands = static_cast<unsigned>(cli.getInt(
+            "quarantine-window", cfg.health.windowCommands));
+        cfg.health.probationAfterCommands =
+            static_cast<unsigned>(cli.getInt(
+                "quarantine-probation",
+                cfg.health.probationAfterCommands));
+        cfg.health.canaryCommands = static_cast<unsigned>(cli.getInt(
+            "quarantine-canaries", cfg.health.canaryCommands));
+        cfg.health.maxStrikes = static_cast<unsigned>(cli.getInt(
+            "quarantine-strikes", cfg.health.maxStrikes));
+
         runtime::MealibRuntime rt(cfg);
 
         const std::uint64_t repeat = static_cast<std::uint64_t>(
             cli.getInt("repeat", 1));
-        fatalIf(repeat == 0, "--repeat must be at least 1");
+        if (repeat == 0) {
+            throw MealibError(
+                Status::error(ErrorCode::InvalidArgument,
+                              "--repeat must be at least 1"));
+        }
 
         const std::string policy_name = cli.get("offload-policy", "");
         const std::string dispatch_json = cli.get("dispatch-json", "");
@@ -334,27 +459,46 @@ main(int argc, char **argv)
                 dispatch_json, energy_json);
 
         runtime::AccPlanHandle plan = rt.accPlan(prog);
-        accel::ExecStats stats;
+        std::vector<runtime::Event> events;
         if (repeat == 1) {
-            stats = rt.accExecute(plan);
+            // The paper's blocking Listing-2 semantics: submit on the
+            // plan's home stack, then poll DONE.
+            events.push_back(
+                rt.accSubmitOn(plan, rt.homeStackOf(plan)));
+            events.front().wait();
         } else {
             // Asynchronous fan-out: N submits, one wait. Overlap shows
             // up with --stacks > 1 (on one stack the in-order queue
             // serializes the copies anyway).
-            std::vector<runtime::Event> events;
             for (std::uint64_t i = 0; i < repeat; ++i)
                 events.push_back(rt.accSubmit(plan));
             rt.waitAll();
-            stats = events.front().stats();
-            for (std::size_t i = 1; i < events.size(); ++i) {
-                stats.total += events[i].stats().total;
-                stats.invocation += events[i].stats().invocation;
-                stats.compsExecuted += events[i].stats().compsExecuted;
-                stats.passes += events[i].stats().passes;
-                stats.bytesMoved += events[i].stats().bytesMoved;
-            }
+        }
+        accel::ExecStats stats = events.front().stats();
+        for (std::size_t i = 1; i < events.size(); ++i) {
+            stats.total += events[i].stats().total;
+            stats.invocation += events[i].stats().invocation;
+            stats.compsExecuted += events[i].stats().compsExecuted;
+            stats.passes += events[i].stats().passes;
+            stats.bytesMoved += events[i].stats().bytesMoved;
         }
         rt.accDestroy(plan);
+
+        // An unrecoverable terminal state (watchdog expiry or device
+        // failure with fallback disabled) is a run failure: report it
+        // on stderr in a machine-parseable form and exit 3.
+        for (const runtime::Event &ev : events) {
+            if (runtime::completed(ev.state()))
+                continue;
+            std::fprintf(stderr,
+                         "%s: command failed: state=%s code=%s "
+                         "message=\"%s\"\n",
+                         cli.program().c_str(),
+                         runtime::name(ev.state()),
+                         name(ev.status().code()),
+                         ev.status().message().c_str());
+            return 3;
+        }
 
         std::printf("program: %zu instruction(s), %llu expanded COMP "
                     "invocation(s), %llu pass(es)\n",
@@ -399,8 +543,37 @@ main(int argc, char **argv)
                         rt.healthyStackCount(), rt.numStacks(),
                         acct.fallbackSeconds * 1e3);
         }
+        if (cfg.integrity.enabled() || cfg.checkpoint.enabled())
+            std::printf("integrity: %.6f ms / %.6f mJ verify+journal, "
+                        "%llu checkpoint(s), %llu resume(s), silent "
+                        "%llu caught / %llu missed\n",
+                        acct.integrity.seconds * 1e3,
+                        acct.integrity.joules * 1e3,
+                        static_cast<unsigned long long>(
+                            acct.checkpointsTaken),
+                        static_cast<unsigned long long>(
+                            acct.resumedFromCheckpoint),
+                        static_cast<unsigned long long>(
+                            acct.silentDetected),
+                        static_cast<unsigned long long>(
+                            acct.silentUndetected));
+        if (cfg.health.enabled())
+            std::printf("health: %u/%u stacks selectable, %llu "
+                        "quarantine(s), %llu readmission(s)\n",
+                        rt.selectableStackCount(), rt.numStacks(),
+                        static_cast<unsigned long long>(
+                            acct.quarantines),
+                        static_cast<unsigned long long>(
+                            acct.readmissions));
         writeEnergyJson(rt, energy_json);
         return 0;
+    } catch (const MealibError &e) {
+        // A recoverable configuration/usage error the library reported
+        // (bad fault rates, health thresholds, ...): a usage problem,
+        // not an internal failure.
+        std::fprintf(stderr, "%s: %s\n", cli.program().c_str(),
+                     e.what());
+        return 2;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
