@@ -37,6 +37,7 @@ runSarChain(std::uint64_t n, bool hardwareChaining,
         Rng rng(seed);
         for (std::uint64_t i = 0; i < n * nin; ++i)
             in[i] = {rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f)};
+        rt.noteHostWrite(in, n * nin * 8);
     } else {
         // Cost-only run: addresses are never dereferenced.
         const std::uint64_t cap =

@@ -498,6 +498,8 @@ runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
     std::vector<cfloat> cube_data = generateCube(p);
     std::copy(cube_data.begin(), cube_data.end(), cube);
     std::fill(out, out + p.dotCalls(), cfloat{});
+    rt.noteHostWrite(cube, cube_elems * 8);
+    rt.noteHostWrite(out, p.dotCalls() * 8);
 
     StapCalls calls = buildCalls(
         p, rt.physOf(cube), rt.physOf(mid), rt.physOf(doppler),
@@ -520,6 +522,9 @@ runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
     buildSnapshots(p, doppler, snap, 0, p.nDop);
     std::uint64_t blas3_calls =
         computeWeights(p, snap, weights, 0, p.nDop);
+    rt.noteHostWrite(snap, p.dotCalls() / p.nSteering * l * 8);
+    rt.noteHostWrite(weights, static_cast<std::size_t>(p.nDop) *
+                                  p.nBlocks * p.nSteering * l * 8);
     host::CpuModel cpu(hwmodel::activeProfile().cpu);
     rt.runOnHost(weightStageProfile(p));
     rt.runOnHost(marshalProfile(p));
@@ -595,6 +600,7 @@ runStapMealibAsync(const StapParams &p, runtime::MealibRuntime &rt)
 
     std::vector<cfloat> cube_data = generateCube(p);
     std::copy(cube_data.begin(), cube_data.end(), cube);
+    rt.noteHostWrite(cube, cube_elems * 8);
 
     StapCalls calls = buildCalls(p, rt.physOf(cube), rt.physOf(mid),
                                  rt.physOf(doppler), 0, 0, 0, 0);
@@ -643,6 +649,9 @@ runStapMealibAsync(const StapParams &p, runtime::MealibRuntime &rt)
         blas3_calls += computeWeights(p, sl[s].snap, sl[s].weights,
                                       lo[s], lo[s + 1]);
         std::fill(sl[s].out, sl[s].out + dot_calls, cfloat{});
+        rt.noteHostWrite(sl[s].snap, rows * p.tbs * l * 8);
+        rt.noteHostWrite(sl[s].weights, rows * p.nSteering * l * 8);
+        rt.noteHostWrite(sl[s].out, dot_calls * 8);
         const double frac =
             static_cast<double>(dops) / static_cast<double>(p.nDop);
         rt.runOnHost(scaled(weightStageProfile(p), frac));

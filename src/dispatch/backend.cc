@@ -1,5 +1,6 @@
 #include "dispatch/backend.hh"
 
+#include <cstdlib>
 #include <string>
 
 #include "accel/descriptor.hh"
@@ -7,8 +8,21 @@
 
 namespace mealib::dispatch {
 
+unsigned
+fusionWindowFromEnv()
+{
+    const char *v = std::getenv("MEALIB_FUSION_WINDOW");
+    if (v == nullptr || *v == '\0')
+        return 1;
+    char *end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || n < 1)
+        return 1;
+    return static_cast<unsigned>(n);
+}
+
 Status
-RuntimeBackend::execute(const OpDesc &desc)
+RuntimeBackend::mapCall(const OpDesc &desc, accel::OpCall *out) const
 {
     if (!desc.accelSupported || !accelerable(desc.kind))
         return Status::error(ErrorCode::InvalidArgument,
@@ -38,19 +52,82 @@ RuntimeBackend::execute(const OpDesc &desc)
                     " is not in accelerator memory");
         slots[i]->base = paddr;
     }
+    *out = call;
+    return Status();
+}
 
+Status
+RuntimeBackend::flushPending()
+{
+    if (pending_.empty())
+        return Status();
     accel::DescriptorProgram prog;
-    if (desc.loop.iterations() > 1)
-        prog.addLoop(desc.loop, 2);
-    prog.addComp(call);
-    prog.addPassEnd();
+    for (const PendingCall &pc : pending_) {
+        if (pc.loop.iterations() > 1)
+            prog.addLoop(pc.loop, 2);
+        prog.addComp(pc.call);
+        prog.addPassEnd();
+    }
+    const std::uint64_t comps = pending_.size();
+    pending_.clear();
 
     runtime::AccPlanHandle plan = rt_.accPlan(prog);
     runtime::Event ev = rt_.accSubmit(plan);
     ev.wait();
     Status st = completed(ev.state()) ? Status() : ev.status();
     rt_.accDestroy(plan);
+    rt_.noteFusion(comps);
     return st;
+}
+
+void
+RuntimeBackend::sync()
+{
+    // The flush outcome is dropped here by design: functional results
+    // are final either way (the runtime executes eagerly and faults
+    // shape cost, not values), and sync() callers have no per-call
+    // Status to attach it to.
+    flushPending();
+}
+
+Status
+RuntimeBackend::execute(const OpDesc &desc)
+{
+    accel::OpCall call;
+    if (Status st = mapCall(desc, &call); !st.ok())
+        return st;
+
+    if (window_ <= 1) {
+        // Unfused: one program per call, exactly the legacy path.
+        accel::DescriptorProgram prog;
+        if (desc.loop.iterations() > 1)
+            prog.addLoop(desc.loop, 2);
+        prog.addComp(call);
+        prog.addPassEnd();
+
+        runtime::AccPlanHandle plan = rt_.accPlan(prog);
+        runtime::Event ev = rt_.accSubmit(plan);
+        ev.wait();
+        Status st = completed(ev.state()) ? Status() : ev.status();
+        rt_.accDestroy(plan);
+        return st;
+    }
+
+    // Fused: buffer the call; flush when the home stack changes or the
+    // window fills. A buffered call reports success optimistically —
+    // its functional result is guaranteed (computed eagerly at flush),
+    // only the modeled fault outcome is folded into the flush that
+    // carries it.
+    const unsigned home = rt_.stackOf(call.out.base);
+    if (!pending_.empty() && home != home_) {
+        if (Status st = flushPending(); !st.ok())
+            return st;
+    }
+    home_ = home;
+    pending_.push_back({call, desc.loop});
+    if (pending_.size() >= window_)
+        return flushPending();
+    return Status();
 }
 
 } // namespace mealib::dispatch

@@ -9,15 +9,31 @@
  * Event outcome as a Status. Operands outside the runtime arena make
  * execute() decline with InvalidArgument so the dispatcher records an
  * unmappable fallback and runs the host kernel instead.
+ *
+ * With a fusion window > 1 the backend batches adjacent accel-decided
+ * calls homed on the same stack into ONE multi-COMP descriptor program
+ * (docs/DISPATCH.md): the chain pays a single flush + START handshake
+ * instead of one per call. The window flushes when it fills, when a
+ * call for a different home stack arrives, or on sync() — which the
+ * dispatcher invokes before any host kernel runs and on detach, so
+ * host code never reads a buffered-but-unexecuted result. Functional
+ * results are bit-for-bit identical to the unfused path (the runtime
+ * executes COMPs in program order either way).
  */
 
 #ifndef MEALIB_DISPATCH_BACKEND_HH
 #define MEALIB_DISPATCH_BACKEND_HH
 
+#include <vector>
+
 #include "dispatch/dispatcher.hh"
 #include "runtime/runtime.hh"
 
 namespace mealib::dispatch {
+
+/** MEALIB_FUSION_WINDOW environment default (unset/bad = 1, i.e. the
+ * exact legacy one-program-per-call behaviour). */
+unsigned fusionWindowFromEnv();
 
 /** Dispatcher backend executing descriptors on a MealibRuntime. */
 class RuntimeBackend final : public AccelBackend
@@ -25,12 +41,25 @@ class RuntimeBackend final : public AccelBackend
   public:
     /** @p rt must outlive the backend (and be functional for the
      * results to be real; a cost-only runtime models time/energy but
-     * leaves the output buffers untouched). */
-    explicit RuntimeBackend(runtime::MealibRuntime &rt) : rt_(rt) {}
+     * leaves the output buffers untouched). @p fusionWindow is the
+     * maximum COMPs batched into one descriptor program; 1 disables
+     * fusion (bit-for-bit legacy submission). */
+    explicit RuntimeBackend(runtime::MealibRuntime &rt,
+                            unsigned fusionWindow = fusionWindowFromEnv())
+        : rt_(rt), window_(fusionWindow < 1 ? 1 : fusionWindow)
+    {
+    }
+
+    ~RuntimeBackend() override { sync(); }
 
     const char *name() const override { return "mealib-runtime"; }
 
     Status execute(const OpDesc &desc) override;
+
+    /** Submit every buffered call as one fused program. Safe to call
+     * with an empty window. The flush outcome only shapes modeled cost
+     * and telemetry — functional results are computed regardless. */
+    void sync() override;
 
     /** Selectable (not failed, not quarantined) stacks over total, so
      * the dispatcher's cost comparisons track substrate health. */
@@ -43,10 +72,32 @@ class RuntimeBackend final : public AccelBackend
         return static_cast<double>(rt_.selectableStackCount()) / total;
     }
 
+    unsigned fusionWindow() const { return window_; }
+
+    /** Calls currently buffered (tests inspect the window state). */
+    std::size_t pendingCount() const { return pending_.size(); }
+
     runtime::MealibRuntime &runtime() { return rt_; }
 
   private:
+    /** One buffered accel-decided call. */
+    struct PendingCall
+    {
+        accel::OpCall call;
+        accel::LoopSpec loop;
+    };
+
+    /** Map host operand pointers to physical bases; decline when an
+     * operand is outside the accelerator arena. */
+    Status mapCall(const OpDesc &desc, accel::OpCall *out) const;
+
+    /** Build + submit one program from the buffered calls. */
+    Status flushPending();
+
     runtime::MealibRuntime &rt_;
+    unsigned window_ = 1;
+    unsigned home_ = 0; //!< home stack of the buffered calls
+    std::vector<PendingCall> pending_;
 };
 
 } // namespace mealib::dispatch

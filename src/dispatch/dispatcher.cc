@@ -83,8 +83,16 @@ Dispatcher::attachBackend(AccelBackend *backend)
 void
 Dispatcher::detachBackend()
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    backend_ = nullptr;
+    AccelBackend *backend;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        backend = backend_;
+        backend_ = nullptr;
+    }
+    // Flush any batched work outside the lock so the backend may call
+    // back into attached ledgers without deadlocking.
+    if (backend != nullptr)
+        backend->sync();
 }
 
 bool
@@ -146,6 +154,9 @@ Dispatcher::run(const OpDesc &desc, const std::function<void()> &hostFn)
     }
 
     if (side == Backend::Host) {
+        // Host code may read results a batching backend still buffers.
+        if (backend != nullptr)
+            backend->sync();
         hostFn();
         return;
     }
@@ -194,6 +205,8 @@ Dispatcher::run(const OpDesc &desc, const std::function<void()> &hostFn)
             ledger_->note(std::string("dispatch/") + name(desc.kind) +
                           "/fallback");
     }
+    if (backend != nullptr)
+        backend->sync();
     hostFn();
 }
 

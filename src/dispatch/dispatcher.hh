@@ -43,6 +43,15 @@ class AccelBackend
     virtual Status execute(const OpDesc &desc) = 0;
 
     /**
+     * Materialize every buffered execution. Backends that batch calls
+     * (the runtime backend's fusion window) may return from execute()
+     * with work still pending; the dispatcher syncs before any host
+     * kernel runs (and on detach), so host code never observes a
+     * buffered-but-unexecuted result. Default: no-op.
+     */
+    virtual void sync() {}
+
+    /**
      * Fraction of the accelerator substrate currently able to take new
      * work, in [0, 1] (selectable stacks / total stacks for the runtime
      * backend: failed and quarantined stacks don't count). The

@@ -116,6 +116,22 @@ RooflineCostModel::hostSeconds(const OpDesc &desc) const
     return s;
 }
 
+void
+RooflineCostModel::setFusionWindow(unsigned window)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    fusionWindow_ = window < 1 ? 1 : window;
+    // Cached accel estimates embed the (now re-amortized) overhead.
+    accelCache_.clear();
+}
+
+unsigned
+RooflineCostModel::fusionWindow() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return fusionWindow_;
+}
+
 double
 RooflineCostModel::accelSeconds(const OpDesc &desc) const
 {
@@ -123,11 +139,13 @@ RooflineCostModel::accelSeconds(const OpDesc &desc) const
         return std::numeric_limits<double>::infinity();
 
     Key key = keyOf(desc);
+    unsigned window = 1;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = accelCache_.find(key);
         if (it != accelCache_.end())
             return it->second;
+        window = fusionWindow_;
     }
 
     accel::AccelKind kind = accelKindOf(desc.kind);
@@ -145,7 +163,11 @@ RooflineCostModel::accelSeconds(const OpDesc &desc) const
                                                         desc.loop));
     double flush =
         cpu_.flushCost(static_cast<std::uint64_t>(inputs)).seconds;
-    double s = e.total.seconds + flush + kHandshakeSeconds;
+    // With a fusion window the backend packs up to `window` adjacent
+    // calls into one descriptor program: one flush + handshake per
+    // window instead of per call.
+    double s = e.total.seconds +
+               (flush + kHandshakeSeconds) / static_cast<double>(window);
 
     std::lock_guard<std::mutex> lock(mu_);
     accelCache_.emplace(key, s);

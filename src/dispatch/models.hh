@@ -75,6 +75,17 @@ class RooflineCostModel final : public CostModel
     double hostSeconds(const OpDesc &desc) const override;
     double accelSeconds(const OpDesc &desc) const override;
 
+    /**
+     * Amortize the per-invocation overhead (flush + handshake) over a
+     * fusion window of @p window calls: with the runtime backend fusing
+     * adjacent same-stack calls into one descriptor program, only one
+     * invocation is paid per window. Clears the accel memo (cached
+     * estimates embed the overhead). @p window < 1 is treated as 1
+     * (no fusion — the exact legacy pricing).
+     */
+    void setFusionWindow(unsigned window);
+    unsigned fusionWindow() const;
+
     const hwmodel::MachineProfile &machine() const { return machine_; }
 
     /** Fixed per-invocation accelerator overhead (descriptor copy +
@@ -89,6 +100,7 @@ class RooflineCostModel final : public CostModel
 
     const hwmodel::MachineProfile &machine_;
     host::CpuModel cpu_;
+    unsigned fusionWindow_ = 1;
     mutable std::mutex mu_;
     mutable std::map<Key, double> hostCache_;
     mutable std::map<Key, double> accelCache_;

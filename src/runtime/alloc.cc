@@ -14,10 +14,12 @@ ContigAllocator::ContigAllocator(Addr base, std::uint64_t size,
     freeList_[base_] = size_;
 }
 
-Addr
-ContigAllocator::alloc(std::uint64_t bytes)
+Status
+ContigAllocator::tryAlloc(std::uint64_t bytes, Addr *out)
 {
-    fatalIf(bytes == 0, "allocator: zero-byte allocation");
+    if (bytes == 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "allocator: zero-byte allocation");
     std::uint64_t need = (bytes + align_ - 1) & ~(align_ - 1);
 
     for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
@@ -37,21 +39,30 @@ ContigAllocator::alloc(std::uint64_t bytes)
 
         allocated_[aligned] = need;
         inUse_ += need;
-        return aligned;
+        *out = aligned;
+        return Status();
     }
-    fatal("allocator: out of contiguous memory (requested ", bytes,
-          " bytes, largest hole ", largestFreeBlock(), ")");
+    return Status::error(
+        ErrorCode::Exhausted,
+        "allocator: out of contiguous memory (requested " +
+            std::to_string(bytes) + " bytes, largest hole " +
+            std::to_string(largestFreeBlock()) + ")");
 }
 
-void
-ContigAllocator::free(Addr addr)
+Status
+ContigAllocator::tryFree(Addr addr, std::uint64_t *freedBytes)
 {
     auto it = allocated_.find(addr);
-    fatalIf(it == allocated_.end(),
-            "allocator: free of unallocated address ", addr);
+    if (it == allocated_.end())
+        return Status::error(
+            ErrorCode::InvalidArgument,
+            "allocator: free of unallocated address " +
+                std::to_string(addr));
     std::uint64_t sz = it->second;
     allocated_.erase(it);
     inUse_ -= sz;
+    if (freedBytes != nullptr)
+        *freedBytes = sz;
 
     // Insert the hole and coalesce with neighbours.
     auto [pos, inserted] = freeList_.emplace(addr, sz);
@@ -71,6 +82,21 @@ ContigAllocator::free(Addr addr)
             freeList_.erase(pos);
         }
     }
+    return Status();
+}
+
+Addr
+ContigAllocator::alloc(std::uint64_t bytes)
+{
+    Addr out = 0;
+    tryAlloc(bytes, &out).orThrow();
+    return out;
+}
+
+void
+ContigAllocator::free(Addr addr)
+{
+    tryFree(addr).orThrow();
 }
 
 std::uint64_t

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 
+#include "common/status.hh"
 #include "common/units.hh"
 
 namespace mealib::runtime {
@@ -30,11 +31,26 @@ class ContigAllocator
     ContigAllocator(Addr base, std::uint64_t size,
                     std::uint64_t align = 64);
 
-    /** Allocate @p bytes; fatal() when no hole fits (like a failed
-     * ioctl from the device driver). */
+    /**
+     * Allocate @p bytes into *@p out. Exhaustion (no hole fits) is
+     * ErrorCode::Exhausted — a recoverable condition an embedding
+     * system must be able to observe and survive, like a failed ioctl
+     * from the device driver; a zero-byte request is InvalidArgument.
+     */
+    Status tryAlloc(std::uint64_t bytes, Addr *out);
+
+    /**
+     * Free a block returned by a successful allocation. A bad or
+     * already-freed address is InvalidArgument. When @p freedBytes is
+     * non-null it receives the block size (including alignment
+     * padding) on success.
+     */
+    Status tryFree(Addr addr, std::uint64_t *freedBytes = nullptr);
+
+    /** tryAlloc() or throw MealibError. */
     Addr alloc(std::uint64_t bytes);
 
-    /** Free a block returned by alloc(); fatal() on a bad address. */
+    /** tryFree() or throw MealibError. */
     void free(Addr addr);
 
     /** Bytes currently handed out (including alignment padding). */

@@ -23,6 +23,7 @@ RuntimeConfig::RuntimeConfig()
             : 0.0;
     integrity.checksumJPerByte = m.checksumJPerByte;
     checkpoint.journalJPerByte = m.journalJPerByte;
+    residency.enabled = residencyFromEnv();
 }
 
 Status
@@ -154,7 +155,12 @@ MealibRuntime::memAllocOn(unsigned stack, std::uint64_t bytes)
 void
 MealibRuntime::memFree(void *vptr)
 {
-    dataAllocs_[stackOf(physOf(vptr))]->free(physOf(vptr));
+    const Addr p = physOf(vptr);
+    std::uint64_t freed = 0;
+    dataAllocs_[stackOf(p)]->tryFree(p, &freed).orThrow();
+    // A freed block's residency must die with it: the allocator may
+    // hand the range to a new array the accelerators have never seen.
+    residency_.dropRange(p, p + freed);
 }
 
 Addr
@@ -208,16 +214,77 @@ MealibRuntime::queue(unsigned stack) const
     return queues_[stack];
 }
 
+std::uint64_t
+MealibRuntime::evictDeadImages(std::size_t keep)
+{
+    // Collect dead (unreferenced) memo entries oldest-first and free
+    // all but the `keep` most recently used.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> dead; // use,hash
+    for (const auto &[hash, img] : images_)
+        if (img.refs == 0)
+            dead.emplace_back(img.lastUse, hash);
+    if (dead.size() <= keep)
+        return 0;
+    std::sort(dead.begin(), dead.end());
+    std::uint64_t reclaimed = 0;
+    for (std::size_t i = 0; i + keep < dead.size(); ++i) {
+        auto it = images_.find(dead[i].second);
+        cmdAlloc_->free(it->second.descAddr);
+        reclaimed += it->second.descBytes;
+        images_.erase(it);
+    }
+    return reclaimed;
+}
+
 AccPlanHandle
 MealibRuntime::accPlan(const accel::DescriptorProgram &prog)
 {
     Plan plan;
     plan.prog = prog;
-    std::vector<std::uint8_t> image = accel::encode(prog);
-    plan.descBytes = image.size();
-    plan.descAddr = cmdAlloc_->alloc(plan.descBytes);
-    std::memcpy(mem_->raw(plan.descAddr, plan.descBytes), image.data(),
-                image.size());
+    plan.imageHash = accel::programHash(prog);
+
+    // Descriptor-image memo: a repeated program (same hash AND same
+    // fields — sameProgram guards collisions) reuses the image already
+    // sitting in the command space instead of re-encoding and copying.
+    auto cached = images_.find(plan.imageHash);
+    if (cached != images_.end() &&
+        accel::sameProgram(cached->second.prog, prog)) {
+        CachedImage &img = cached->second;
+        img.refs++;
+        img.lastUse = ++imageUseTick_;
+        plan.descAddr = img.descAddr;
+        plan.descBytes = img.descBytes;
+        plan.imageCached = true;
+        acct_.planImageReuses++;
+    } else {
+        const bool collision = cached != images_.end();
+        std::vector<std::uint8_t> image = accel::encode(prog);
+        plan.descBytes = image.size();
+        Status s = cmdAlloc_->tryAlloc(plan.descBytes, &plan.descAddr);
+        if (!s.ok() && s.code() == ErrorCode::Exhausted) {
+            // Dead memo entries are a cache, not a reservation: give
+            // their space back and retry before reporting exhaustion.
+            if (evictDeadImages(0) > 0)
+                s = cmdAlloc_->tryAlloc(plan.descBytes, &plan.descAddr);
+        }
+        if (!s.ok()) {
+            throw MealibError(Status::error(
+                s.code(), "accPlan: command space exhausted (" +
+                              s.message() + ")"));
+        }
+        std::memcpy(mem_->raw(plan.descAddr, plan.descBytes),
+                    image.data(), image.size());
+        if (!collision) {
+            CachedImage img;
+            img.descAddr = plan.descAddr;
+            img.descBytes = plan.descBytes;
+            img.refs = 1;
+            img.lastUse = ++imageUseTick_;
+            img.prog = prog;
+            images_.emplace(plan.imageHash, std::move(img));
+            plan.imageCached = true;
+        }
+    }
 
     // Footprint the host may hold dirty in its caches: one iteration's
     // input operands per COMP (flushCost clamps at LLC capacity).
@@ -389,8 +456,33 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     }
 
     // 1. Coherence: write back dirty lines so the memory-side view is
-    //    current (wbinvd, Sec. 3.5).
-    Cost flush = host_.flushCost(plan.dirtyBytes);
+    //    current (wbinvd, Sec. 3.5). With residency tracking on, read
+    //    operands the accelerators produced — and the host has not
+    //    touched since — are already coherent in stack memory, so the
+    //    flush shrinks to the host-dirtied remainder (and disappears
+    //    entirely when the whole read set is clean-on-stack).
+    const bool residencyOn = cfg_.residency.enabled;
+    std::uint64_t effDirtyBytes = plan.dirtyBytes;
+    if (residencyOn) {
+        const std::uint64_t readB =
+            ResidencyTracker::readBytes(plan.intervals);
+        const std::uint64_t cleanB =
+            residency_.flushCleanReadBytes(plan.intervals);
+        if (readB > 0 && cleanB >= readB) {
+            effDirtyBytes = 0;
+        } else if (readB > 0 && cleanB > 0) {
+            const double frac = static_cast<double>(cleanB) /
+                                static_cast<double>(readB);
+            effDirtyBytes = static_cast<std::uint64_t>(
+                static_cast<double>(plan.dirtyBytes) * (1.0 - frac));
+        }
+        acct_.flushBytesElided += plan.dirtyBytes - effDirtyBytes;
+        if (effDirtyBytes < plan.dirtyBytes)
+            ledger_.post("reuse", Cost{}, "flush_elided");
+    }
+    Cost flush = effDirtyBytes > 0 || !residencyOn
+                     ? host_.flushCost(effDirtyBytes)
+                     : Cost{};
 
     // 2. Descriptor copy + START write + DONE poll over the host links.
     double link_bw = cfg_.dram.org.linkBandwidth;
@@ -461,6 +553,22 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     // above were computed exactly once and are final either way: faults
     // only shape cost, occupancy and the event's terminal state.
     const std::uint64_t cmd = cmdIndex_++;
+    // Verification footprint: with residency on, intervals whose cached
+    // checksum is still valid (verified earlier, untouched since) are
+    // skipped by both the host-side and stack-side passes.
+    std::uint64_t effVerifyBytes = plan.transferBytes;
+    if (residencyOn && cfg_.integrity.enabled()) {
+        const std::uint64_t cleanV =
+            residency_.verifyCleanBytes(plan.intervals);
+        effVerifyBytes = cleanV < plan.transferBytes
+                             ? plan.transferBytes - cleanV
+                             : 0;
+        // Two passes (host + stack) skip these bytes each.
+        acct_.verifyBytesElided +=
+            2 * (plan.transferBytes - effVerifyBytes);
+        if (effVerifyBytes < plan.transferBytes)
+            ledger_.post("reuse", Cost{}, "verify_elided");
+    }
     // Host-side source checksum: one pass over the operand footprint
     // before the transfer (the re-verify passes after link crossings
     // and vault reads are stack-side, charged per attempt below).
@@ -468,11 +576,11 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     if (cfg_.integrity.enabled())
         integHost = fault::checksumCost(cfg_.integrity,
                                         static_cast<double>(
-                                            plan.transferBytes));
+                                            effVerifyBytes));
     Attempts at;
     if (faults_.enabled()) {
         at = resolveAttempts(cmd, stackIdx, accelSpan, accelJoules,
-                             plan);
+                             plan, effVerifyBytes);
         es.retries = at.retries;
         es.faultPenalty = at.penalty;
         es.total += at.penalty;
@@ -485,7 +593,7 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
         if (cfg_.integrity.enabled())
             at.integrity += fault::checksumCost(
                 cfg_.integrity,
-                static_cast<double>(plan.transferBytes));
+                static_cast<double>(effVerifyBytes));
         if (checkpointed(plan)) {
             const std::uint64_t comps = plan.expandedComps;
             const std::uint64_t ival = cfg_.checkpoint.intervalComps;
@@ -615,6 +723,12 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
             acct_.resumedFromCheckpoint++;
         state->stats = es;
         inflight_.push_back(state);
+        // The command's operands now live clean on the stack: reads
+        // were flushed (or already clean), writes were produced there.
+        // With integrity on they were also verified this command, so
+        // the cached checksum stays valid until a host write.
+        if (residencyOn)
+            residency_.commit(plan.intervals, cfg_.integrity.enabled());
     } else if (cfg_.retry.hostFallback) {
         // Retry budget exhausted on the accelerator: the stack burned
         // `occupancy` on dead attempts, then the host re-executes the
@@ -636,6 +750,10 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
         state->finishSeconds = hostSeconds_;
         state->stats = es;
         state->waited = true;
+        // The host produced the results: its caches hold them dirty,
+        // so the written intervals are no longer clean-on-stack.
+        if (residencyOn)
+            residency_.invalidateWrites(plan.intervals);
     } else {
         // No recovery left: the command terminates without a result.
         state->state = at.lastFault == fault::FaultKind::CommandHang
@@ -651,6 +769,10 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
                 fault::name(at.lastFault) + ")");
         state->stats = es;
         inflight_.push_back(state);
+        // A failed/timed-out command leaves its output intervals in an
+        // untrusted state: drop any residency they had.
+        if (residencyOn)
+            residency_.invalidateAll(plan.intervals);
     }
     updateMakespan();
     // A struck-out stack dies only after this command's event has been
@@ -704,10 +826,25 @@ MealibRuntime::accExecute(AccPlanHandle handle)
 void
 MealibRuntime::accDestroy(AccPlanHandle handle)
 {
+    // A handful of dead images stay memoized so plan/destroy loops over
+    // the same program hit the cache; beyond that they are evicted LRU
+    // so the command space is not pinned by history.
+    constexpr std::size_t kDeadImageCap = 16;
+
     auto it = plans_.find(handle);
     fatalIf(it == plans_.end(), "accDestroy: unknown plan handle ",
             handle);
-    cmdAlloc_->free(it->second.descAddr);
+    const Plan &plan = it->second;
+    auto cached = images_.find(plan.imageHash);
+    if (plan.imageCached && cached != images_.end() &&
+        cached->second.descAddr == plan.descAddr) {
+        fatalIf(cached->second.refs == 0,
+                "accDestroy: image refcount underflow");
+        cached->second.refs--;
+        evictDeadImages(kDeadImageCap);
+    } else {
+        cmdAlloc_->free(plan.descAddr);
+    }
     plans_.erase(it);
 }
 
@@ -735,6 +872,11 @@ MealibRuntime::failStack(unsigned stackIdx)
     faults_.record({fault::FaultKind::StackFailure, stackIdx,
                     cmdIndex_, 0});
 
+    // Nothing on a dead stack can be trusted as clean or verified.
+    const std::uint64_t stackSpan = cfg_.backingBytes / cfg_.numStacks;
+    residency_.dropRange(static_cast<Addr>(stackIdx) * stackSpan,
+                         static_cast<Addr>(stackIdx + 1) * stackSpan);
+
     // Cancel everything still occupying the dead stack past `now`.
     const double now = hostSeconds_;
     CommandQueue &q = queues_[stackIdx];
@@ -756,6 +898,9 @@ MealibRuntime::failStack(unsigned stackIdx)
     for (const auto &state : drained) {
         acct_.retryCount++;
         state->stats.retries++;
+        // A drained command's destination is decided below; until it
+        // completes there, none of its intervals count as resident.
+        residency_.invalidateAll(state->intervals);
         std::erase_if(pending_, [&](const PendingAccess &pa) {
             return pa.owner == state->id;
         });
@@ -880,15 +1025,24 @@ MealibRuntime::recordHealth(unsigned stackIdx, std::uint64_t cmd,
         health_.recordOutcome(stackIdx, cmd, faulted);
     acct_.quarantines = health_.quarantines();
     acct_.readmissions = health_.readmissions();
+    // Quarantine and death both mean the stack's recent behaviour is
+    // suspect: anything it holds loses clean/verified status.
+    const std::uint64_t stackSpan = cfg_.backingBytes / cfg_.numStacks;
     switch (act) {
     case StackHealthMonitor::Action::Quarantine:
         sched_->setAvailable(stackIdx, false);
+        residency_.dropRange(static_cast<Addr>(stackIdx) * stackSpan,
+                             static_cast<Addr>(stackIdx + 1) *
+                                 stackSpan);
         break;
     case StackHealthMonitor::Action::Readmit:
         sched_->setAvailable(stackIdx, true);
         break;
     case StackHealthMonitor::Action::Die:
         sched_->setAvailable(stackIdx, false);
+        residency_.dropRange(static_cast<Addr>(stackIdx) * stackSpan,
+                             static_cast<Addr>(stackIdx + 1) *
+                                 stackSpan);
         return stackIdx;
     case StackHealthMonitor::Action::None:
         break;
@@ -924,7 +1078,8 @@ MealibRuntime::snapshotCost(const Plan &plan) const
 MealibRuntime::Attempts
 MealibRuntime::resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
                                double spanSeconds, double accelJoules,
-                               const Plan &plan)
+                               const Plan &plan,
+                               std::uint64_t effVerifyBytes)
 {
     /** HMC-style request packet re-sent after a CRC failure. */
     constexpr std::uint64_t kCrcPacketBytes = 128;
@@ -937,9 +1092,8 @@ MealibRuntime::resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
     const Cost snap = ckpt ? snapshotCost(plan) : Cost{};
     const Cost verify =
         integrityOn
-            ? fault::checksumCost(
-                  cfg_.integrity,
-                  static_cast<double>(plan.transferBytes))
+            ? fault::checksumCost(cfg_.integrity,
+                                  static_cast<double>(effVerifyBytes))
             : Cost{};
 
     Attempts at;
@@ -1165,8 +1319,32 @@ MealibRuntime::submitOnHost(Plan &plan, unsigned targetStack,
     state->state = EventState::FellBack;
     state->onHost = true;
     state->waited = true;
+    // Host execution dirties the written intervals in host caches.
+    if (cfg_.residency.enabled)
+        residency_.invalidateWrites(plan.intervals);
     updateMakespan();
     return Event(this, state);
+}
+
+void
+MealibRuntime::noteHostWrite(const void *vptr, std::uint64_t bytes)
+{
+    if (!cfg_.residency.enabled || bytes == 0)
+        return;
+    Addr lo = 0;
+    if (!tryPhysOf(vptr, &lo))
+        return;
+    residency_.hostWrite(lo, lo + bytes);
+}
+
+void
+MealibRuntime::noteFusion(std::uint64_t comps)
+{
+    if (comps <= 1)
+        return;
+    acct_.fusedPrograms++;
+    acct_.handshakesElided += comps - 1;
+    ledger_.post("reuse", Cost{}, "fused_program");
 }
 
 Cost
@@ -1201,6 +1379,7 @@ MealibRuntime::resetAccounting()
     slowdown_.assign(cfg_.numStacks, 1.0);
     health_.reset();
     journal_.reset();
+    residency_.reset();
 }
 
 const accel::ExecStats &

@@ -50,6 +50,7 @@
 #include "runtime/health.hh"
 #include "runtime/journal.hh"
 #include "runtime/queue.hh"
+#include "runtime/residency.hh"
 #include "runtime/scheduler.hh"
 
 namespace mealib::runtime {
@@ -107,6 +108,13 @@ struct RuntimeConfig
     CheckpointConfig checkpoint;
     /** Stack quarantine / re-admission policy (off by default). */
     HealthConfig health;
+
+    /** Cross-command operand residency tracking (docs/RUNTIME.md): when
+     * enabled, flushes shrink to host-dirtied intervals and integrity
+     * verification skips intervals whose cached checksum is still
+     * valid. Off by default (bit-for-bit identical ledger); the
+     * constructor seeds it from MEALIB_RESIDENCY. */
+    ResidencyConfig residency;
 
     RuntimeConfig();
 
@@ -169,6 +177,19 @@ struct RuntimeAccounting
     std::uint64_t quarantines = 0;
     /** Probation-to-healthy re-admissions of the health monitor. */
     std::uint64_t readmissions = 0;
+
+    // --- reuse view (residency / fusion, docs/RUNTIME.md) --------------
+    /** Flush bytes skipped because the read set was clean-on-stack. */
+    std::uint64_t flushBytesElided = 0;
+    /** Verification bytes skipped on cached-checksum intervals
+     * (host + stack passes). */
+    std::uint64_t verifyBytesElided = 0;
+    /** START handshakes saved by descriptor-program fusion. */
+    std::uint64_t handshakesElided = 0;
+    /** Fused multi-COMP programs submitted by the dispatch layer. */
+    std::uint64_t fusedPrograms = 0;
+    /** accPlan() calls served from the encoded-image memo. */
+    std::uint64_t planImageReuses = 0;
 
     Cost
     total() const
@@ -345,6 +366,28 @@ class MealibRuntime
      * Outstanding Events become stale: waiting on them is a no-op. */
     void resetAccounting();
 
+    // --- cross-command residency (docs/RUNTIME.md) ---------------------
+
+    /**
+     * Declare that the host wrote @p bytes starting at @p vptr. With
+     * residency tracking on, the range loses its clean-on-stack and
+     * verified status, so the next command touching it pays the full
+     * flush/verify again. Required for correctness of the elision:
+     * apps call this after every host-side store into mapped memory.
+     * No-op (and free) when residency is disabled or @p vptr is not in
+     * the mapped arena.
+     */
+    void noteHostWrite(const void *vptr, std::uint64_t bytes);
+
+    /**
+     * Record that the dispatch layer fused @p comps adjacent calls into
+     * one descriptor program, saving comps-1 START handshakes. Only
+     * bumps the reuse counters (the saved cost simply never accrues). */
+    void noteFusion(std::uint64_t comps);
+
+    /** The interval tracker (tests inspect clean coverage). */
+    const ResidencyTracker &residency() const { return residency_; }
+
     const RuntimeConfig &config() const { return cfg_; }
     dram::PhysMem &mem() { return *mem_; }
     const host::CpuModel &hostModel() const { return host_; }
@@ -368,6 +411,10 @@ class MealibRuntime
         bool rerunSafe = false;    //!< checkpointable (event.hh)
         std::uint64_t transferBytes = 0; //!< verified operand bytes
         std::uint64_t writeBytes = 0;    //!< journaled snapshot bytes
+
+        // --- descriptor-image memo (accPlan, docs/RUNTIME.md) ---------
+        std::uint64_t imageHash = 0; //!< programHash of prog
+        bool imageCached = false;    //!< descAddr shared via images_
     };
 
     /** An in-flight command's hazard footprint on the timeline. */
@@ -443,7 +490,8 @@ class MealibRuntime
     };
     Attempts resolveAttempts(std::uint64_t cmd, unsigned stackIdx,
                              double spanSeconds, double accelJoules,
-                             const Plan &plan);
+                             const Plan &plan,
+                             std::uint64_t effVerifyBytes);
 
     /** Whether @p plan is checkpointed when running on the runtime's
      * current configuration. */
@@ -458,9 +506,25 @@ class MealibRuntime
     unsigned recordHealth(unsigned stackIdx, std::uint64_t cmd,
                           bool faulted);
 
+    /** One memoized descriptor image in the command space. */
+    struct CachedImage
+    {
+        Addr descAddr = 0;
+        std::uint64_t descBytes = 0;
+        unsigned refs = 0;          //!< live plans sharing the image
+        std::uint64_t lastUse = 0;  //!< for dead-entry LRU eviction
+        accel::DescriptorProgram prog; //!< hash-collision guard
+    };
+
+    /** Free dead (refs == 0) memoized images; @p keep newest retained.
+     * @return bytes returned to the command space. */
+    std::uint64_t evictDeadImages(std::size_t keep);
+
     std::unique_ptr<ContigAllocator> cmdAlloc_;
     std::vector<std::unique_ptr<ContigAllocator>> dataAllocs_;
     std::map<AccPlanHandle, Plan> plans_;
+    std::map<std::uint64_t, CachedImage> images_; //!< hash -> image
+    std::uint64_t imageUseTick_ = 0;
     AccPlanHandle nextHandle_ = 1;
     RuntimeAccounting acct_;
     EnergyLedger ledger_;
@@ -483,6 +547,9 @@ class MealibRuntime
     // --- integrity/checkpoint/health state (reset by resetAccounting) --
     StackHealthMonitor health_;
     ReplayJournal journal_;
+
+    // --- residency state (reset by resetAccounting) --------------------
+    ResidencyTracker residency_;
 };
 
 } // namespace mealib::runtime

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/status.hh"
 #include "runtime/alloc.hh"
 
 namespace mealib::runtime {
@@ -58,11 +59,18 @@ TEST(Alloc, CoalescingRestoresFullRegion)
     EXPECT_NO_THROW(a.alloc(4096));
 }
 
-TEST(Alloc, OutOfMemoryIsFatal)
+TEST(Alloc, OutOfMemoryIsRecoverable)
 {
     ContigAllocator a(0, 4096);
     a.alloc(4096);
-    EXPECT_THROW(a.alloc(1), FatalError);
+    // Exhaustion is a condition an embedding system must survive: a
+    // recoverable MealibError from the throwing wrapper, a non-ok
+    // Status with code Exhausted from tryAlloc.
+    EXPECT_THROW(a.alloc(1), MealibError);
+    Addr out = 0;
+    Status s = a.tryAlloc(1, &out);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::Exhausted);
 }
 
 TEST(Alloc, FragmentationPreventsLargeAlloc)
@@ -78,21 +86,48 @@ TEST(Alloc, FragmentationPreventsLargeAlloc)
     a.free(p4);
     // 2048 bytes free but not contiguous.
     EXPECT_EQ(a.largestFreeBlock(), 1024u);
-    EXPECT_THROW(a.alloc(2048), FatalError);
+    EXPECT_THROW(a.alloc(2048), MealibError);
 }
 
-TEST(Alloc, DoubleFreeIsFatal)
+TEST(Alloc, DoubleFreeIsRecoverable)
 {
     ContigAllocator a(0, 4096);
     Addr p = a.alloc(64);
     a.free(p);
-    EXPECT_THROW(a.free(p), FatalError);
+    EXPECT_THROW(a.free(p), MealibError);
+    EXPECT_EQ(a.tryFree(p).code(), ErrorCode::InvalidArgument);
 }
 
-TEST(Alloc, FreeOfBogusAddressIsFatal)
+TEST(Alloc, FreeOfBogusAddressIsRecoverable)
 {
     ContigAllocator a(0, 4096);
-    EXPECT_THROW(a.free(12345), FatalError);
+    EXPECT_THROW(a.free(12345), MealibError);
+    EXPECT_EQ(a.tryFree(12345).code(), ErrorCode::InvalidArgument);
+}
+
+TEST(Alloc, TryAllocTryFreeRoundTrip)
+{
+    ContigAllocator a(0, 4096, 64);
+    Addr p = 0;
+    ASSERT_TRUE(a.tryAlloc(100, &p).ok());
+    EXPECT_EQ(a.allocationCount(), 1u);
+    std::uint64_t freed = 0;
+    ASSERT_TRUE(a.tryFree(p, &freed).ok());
+    EXPECT_EQ(freed, 128u); // rounded to alignment
+    EXPECT_EQ(a.bytesInUse(), 0u);
+}
+
+TEST(Alloc, TryAllocExhaustionLeavesStateUsable)
+{
+    // After a failed allocation the allocator still serves requests
+    // that fit — no partial state was consumed by the failure.
+    ContigAllocator a(0, 4096, 1);
+    Addr p = 0;
+    ASSERT_TRUE(a.tryAlloc(3000, &p).ok());
+    Addr q = 0;
+    EXPECT_EQ(a.tryAlloc(2000, &q).code(), ErrorCode::Exhausted);
+    EXPECT_TRUE(a.tryAlloc(1000, &q).ok());
+    EXPECT_EQ(a.allocationCount(), 2u);
 }
 
 TEST(Alloc, SizeOfTracksRoundedSize)
@@ -102,10 +137,12 @@ TEST(Alloc, SizeOfTracksRoundedSize)
     EXPECT_EQ(a.sizeOf(p), 128u); // rounded to alignment
 }
 
-TEST(Alloc, ZeroByteAllocIsFatal)
+TEST(Alloc, ZeroByteAllocIsRejected)
 {
     ContigAllocator a(0, 4096);
-    EXPECT_THROW(a.alloc(0), FatalError);
+    EXPECT_THROW(a.alloc(0), MealibError);
+    Addr out = 0;
+    EXPECT_EQ(a.tryAlloc(0, &out).code(), ErrorCode::InvalidArgument);
 }
 
 TEST(Alloc, StressRandomAllocFree)

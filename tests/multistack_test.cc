@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "runtime/runtime.hh"
 
 namespace mealib::runtime {
@@ -54,7 +55,7 @@ TEST(MultiStack, StacksHaveIndependentCapacity)
     cfg.numStacks = 2;
     MealibRuntime rt(cfg);
     void *big = rt.memAllocOn(1, 7_MiB); // nearly fills stack 1
-    EXPECT_THROW(rt.memAllocOn(1, 4_MiB), FatalError);
+    EXPECT_THROW(rt.memAllocOn(1, 4_MiB), MealibError);
     EXPECT_NO_THROW(rt.memFree(rt.memAllocOn(0, 4_MiB)));
     rt.memFree(big);
 }
@@ -175,7 +176,7 @@ TEST(MultiStack, LastStackAllocatesItsFullSpan)
     EXPECT_EQ(rt.stackOf(rt.physOf(p) + span - 1), 3u);
     rt.memFree(p);
     // Stack 0 gave up commandBytes, so the full span must not fit.
-    EXPECT_THROW(rt.memAllocOn(0, span), FatalError);
+    EXPECT_THROW(rt.memAllocOn(0, span), MealibError);
 }
 
 TEST(MultiStack, StraddlingOperandClassifiedByBase)

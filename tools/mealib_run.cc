@@ -155,6 +155,16 @@ printHelp(const std::string &program)
         "  --dispatch-json=PATH   per-kind dispatch telemetry\n"
         "  --energy-json=PATH     energy-ledger JSON\n"
         "\n"
+        "reuse (docs/RUNTIME.md):\n"
+        "  --residency            track cross-command operand residency\n"
+        "                         and elide redundant flush/verify work\n"
+        "                         (also: MEALIB_RESIDENCY=1)\n"
+        "  --fusion-window=N      fuse up to N adjacent same-stack\n"
+        "                         dispatched calls into one descriptor\n"
+        "                         program (default 1 = off; also:\n"
+        "                         MEALIB_FUSION_WINDOW; needs\n"
+        "                         --offload-policy)\n"
+        "\n"
         "exit codes: 0 success, 1 internal error, 2 usage/config\n"
         "error, 3 unrecoverable command (structured stderr).\n",
         program.c_str());
@@ -226,14 +236,16 @@ runDispatched(runtime::MealibRuntime &rt,
               const runtime::RuntimeConfig &cfg,
               const accel::DescriptorProgram &prog, std::uint64_t repeat,
               const std::string &policyName, const std::string &jsonPath,
-              const std::string &energyJsonPath)
+              const std::string &energyJsonPath, unsigned fusionWindow)
 {
     auto policy = dispatch::makePolicy(policyName);
     fatalIf(policy == nullptr, "--offload-policy '", policyName,
             "' is not host|accel|crossover|calibrated");
     dispatch::Dispatcher disp(std::move(policy));
-    disp.setCostModel(std::make_shared<dispatch::RooflineCostModel>());
-    dispatch::RuntimeBackend backend(rt);
+    auto costs = std::make_shared<dispatch::RooflineCostModel>();
+    costs->setFusionWindow(fusionWindow);
+    disp.setCostModel(costs);
+    dispatch::RuntimeBackend backend(rt, fusionWindow);
     disp.attachBackend(&backend);
     // Decisions land in the runtime's ledger as zero-cost notes, so the
     // --energy-json record shows where every call went.
@@ -278,6 +290,7 @@ runDispatched(runtime::MealibRuntime &rt,
             });
         }
     }
+    backend.sync(); // materialize any fused calls still buffered
     rt.waitAll();
 
     const dispatch::DispatchStats ds = disp.snapshot();
@@ -312,6 +325,19 @@ runDispatched(runtime::MealibRuntime &rt,
     std::printf("time:   %.6f ms serial (makespan %.6f ms)\n",
                 acct.total().seconds * 1e3, acct.makespanSeconds * 1e3);
     std::printf("energy: %.6f mJ\n", acct.total().joules * 1e3);
+    if (rt.config().residency.enabled || fusionWindow > 1)
+        std::printf("reuse:  %llu flush B elided, %llu verify B elided, "
+                    "%llu handshake(s) elided, %llu fused program(s), "
+                    "%llu plan-image reuse(s)\n",
+                    static_cast<unsigned long long>(
+                        acct.flushBytesElided),
+                    static_cast<unsigned long long>(
+                        acct.verifyBytesElided),
+                    static_cast<unsigned long long>(
+                        acct.handshakesElided),
+                    static_cast<unsigned long long>(acct.fusedPrograms),
+                    static_cast<unsigned long long>(
+                        acct.planImageReuses));
     if (cfg.fault.enabled())
         std::printf("faults: %zu injected (retries %llu, fallbacks "
                     "%llu)\n",
@@ -439,6 +465,18 @@ main(int argc, char **argv)
         cfg.health.maxStrikes = static_cast<unsigned>(cli.getInt(
             "quarantine-strikes", cfg.health.maxStrikes));
 
+        // --- residency / fusion (docs/RUNTIME.md) ----------------------
+        if (cli.has("residency"))
+            cfg.residency.enabled = true;
+        const unsigned fusion_window = static_cast<unsigned>(cli.getInt(
+            "fusion-window",
+            static_cast<std::int64_t>(dispatch::fusionWindowFromEnv())));
+        if (fusion_window < 1) {
+            throw MealibError(
+                Status::error(ErrorCode::InvalidArgument,
+                              "--fusion-window must be at least 1"));
+        }
+
         runtime::MealibRuntime rt(cfg);
 
         const std::uint64_t repeat = static_cast<std::uint64_t>(
@@ -456,7 +494,7 @@ main(int argc, char **argv)
             return runDispatched(
                 rt, cfg, prog, repeat,
                 policy_name.empty() ? "host" : policy_name,
-                dispatch_json, energy_json);
+                dispatch_json, energy_json, fusion_window);
 
         runtime::AccPlanHandle plan = rt.accPlan(prog);
         std::vector<runtime::Event> events;
@@ -525,6 +563,15 @@ main(int argc, char **argv)
                     acct.makespanSeconds * 1e3,
                     acct.total().seconds * 1e3,
                     acct.overlapSavedSeconds() * 1e3);
+        if (cfg.residency.enabled)
+            std::printf("reuse:  %llu flush B elided, %llu verify B "
+                        "elided, %llu plan-image reuse(s)\n",
+                        static_cast<unsigned long long>(
+                            acct.flushBytesElided),
+                        static_cast<unsigned long long>(
+                            acct.verifyBytesElided),
+                        static_cast<unsigned long long>(
+                            acct.planImageReuses));
         if (cfg.fault.enabled()) {
             std::printf("faults: seed %llu, %zu injected (retries %llu, "
                         "fallbacks %llu, watchdog %llu, ecc-corrected "
