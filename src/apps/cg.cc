@@ -115,7 +115,8 @@ solveCgMealib(const mkl::CsrMatrix &a, const std::vector<float> &b,
             "cg: rhs size mismatch");
     const std::int64_t n = a.rows;
     const std::int64_t nnz = a.nnz();
-    rt.resetAccounting();
+    if (opts.exclusive)
+        rt.resetAccounting();
 
     CgResult res;
 
@@ -231,8 +232,10 @@ solveCgMealib(const mkl::CsrMatrix &a, const std::vector<float> &b,
     rt.accDestroy(h_dots);
     res.residualNorm = std::sqrt(rs);
     res.x.assign(x, x + n);
-    res.accel = rt.accounting().accel;
-    res.invocation = rt.accounting().invocation;
+    if (opts.exclusive) {
+        res.accel = rt.accounting().accel;
+        res.invocation = rt.accounting().invocation;
+    }
 
     for (void *ptr :
          {static_cast<void *>(rowptr), static_cast<void *>(colidx),

@@ -41,6 +41,13 @@ struct CgOptions
 {
     unsigned maxIterations = 200;
     double tolerance = 1e-4; //!< on ||r|| / ||b||
+    /** The solve owns the runtime: reset its accounting first and copy
+     * the aggregate accel/invocation cost into the result. Set false
+     * when the runtime is shared between concurrent sessions — the
+     * solve then leaves the aggregate accounting untouched and cost
+     * attribution comes from the calling thread's session ledger
+     * (docs/SESSIONS.md). */
+    bool exclusive = true;
 };
 
 /**

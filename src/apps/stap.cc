@@ -473,14 +473,16 @@ runStapHost(const StapParams &p)
 }
 
 StapResult
-runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
+runStapMealib(const StapParams &p, runtime::MealibRuntime &rt,
+              bool exclusive)
 {
     StapResult res;
     const unsigned l = p.dofLen();
     const std::size_t cube_elems =
         static_cast<std::size_t>(p.nChan) * p.nDop * p.nRange();
 
-    rt.resetAccounting();
+    if (exclusive)
+        rt.resetAccounting();
 
     // Data allocation through the memory-management runtime (the s2s
     // compiler rewrote malloc into mealib_mem_alloc).
@@ -548,22 +550,26 @@ runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
 
     res.prods.assign(out, out + p.dotCalls());
 
-    const runtime::RuntimeAccounting &acct = rt.accounting();
-    res.host = acct.host;
-    res.accel = acct.accel;
-    res.invocation = acct.invocation;
-    res.timeByAccel = acct.timeByAccel;
-    res.energyByAccel = acct.energyByAccel;
-    // The host idles (but still burns package power) while the
-    // accelerators own the DRAM.
-    Cost idle = cpu.idleCost(res.accel.seconds + res.invocation.seconds);
-    res.host.joules += idle.joules;
-    res.criticalPathSeconds = acct.makespanSeconds;
-    // The runtime's ledger already mirrors the accounting above; add
-    // the package-idle charge so ledger.total() == total() stays exact.
-    res.ledger = rt.ledger();
-    res.ledger.post("host", {0.0, idle.joules}, "package_idle");
-    res.ledger.attribute("host", idle.joules);
+    if (exclusive) {
+        const runtime::RuntimeAccounting &acct = rt.accounting();
+        res.host = acct.host;
+        res.accel = acct.accel;
+        res.invocation = acct.invocation;
+        res.timeByAccel = acct.timeByAccel;
+        res.energyByAccel = acct.energyByAccel;
+        // The host idles (but still burns package power) while the
+        // accelerators own the DRAM.
+        Cost idle =
+            cpu.idleCost(res.accel.seconds + res.invocation.seconds);
+        res.host.joules += idle.joules;
+        res.criticalPathSeconds = acct.makespanSeconds;
+        // The runtime's ledger already mirrors the accounting above;
+        // add the package-idle charge so ledger.total() == total()
+        // stays exact.
+        res.ledger = rt.ledger();
+        res.ledger.post("host", {0.0, idle.joules}, "package_idle");
+        res.ledger.attribute("host", idle.joules);
+    }
 
     res.libraryCalls = 2 + 2 + blas3_calls + p.dotCalls() + 1;
     res.descriptors = 3;
@@ -579,7 +585,8 @@ runStapMealib(const StapParams &p, runtime::MealibRuntime &rt)
 }
 
 StapResult
-runStapMealibAsync(const StapParams &p, runtime::MealibRuntime &rt)
+runStapMealibAsync(const StapParams &p, runtime::MealibRuntime &rt,
+                   bool exclusive)
 {
     StapResult res;
     const unsigned l = p.dofLen();
@@ -590,7 +597,8 @@ runStapMealibAsync(const StapParams &p, runtime::MealibRuntime &rt)
     // remote-link penalty.
     const unsigned slices = std::min(rt.numStacks(), p.nDop);
 
-    rt.resetAccounting();
+    if (exclusive)
+        rt.resetAccounting();
 
     // The datacube and its doppler spectrum stay on stack 0: the corner
     // turn + FFT descriptor is a pipeline head every slice depends on.
@@ -687,23 +695,25 @@ runStapMealibAsync(const StapParams &p, runtime::MealibRuntime &rt)
         rt.accDestroy(sl[s].plan);
     }
 
-    const runtime::RuntimeAccounting &acct = rt.accounting();
-    res.host = acct.host;
-    res.accel = acct.accel;
-    res.invocation = acct.invocation;
-    res.timeByAccel = acct.timeByAccel;
-    res.energyByAccel = acct.energyByAccel;
-    res.criticalPathSeconds = acct.makespanSeconds;
-    // The host burns package power only where the overlap-aware
-    // timeline leaves it idle.
-    host::CpuModel cpu(hwmodel::activeProfile().cpu);
-    const double idle_s =
-        std::max(0.0, acct.makespanSeconds - acct.hostBusySeconds);
-    const double idle_j = cpu.idleCost(idle_s).joules;
-    res.host.joules += idle_j;
-    res.ledger = rt.ledger();
-    res.ledger.post("host", {0.0, idle_j}, "package_idle");
-    res.ledger.attribute("host", idle_j);
+    if (exclusive) {
+        const runtime::RuntimeAccounting &acct = rt.accounting();
+        res.host = acct.host;
+        res.accel = acct.accel;
+        res.invocation = acct.invocation;
+        res.timeByAccel = acct.timeByAccel;
+        res.energyByAccel = acct.energyByAccel;
+        res.criticalPathSeconds = acct.makespanSeconds;
+        // The host burns package power only where the overlap-aware
+        // timeline leaves it idle.
+        host::CpuModel cpu(hwmodel::activeProfile().cpu);
+        const double idle_s =
+            std::max(0.0, acct.makespanSeconds - acct.hostBusySeconds);
+        const double idle_j = cpu.idleCost(idle_s).joules;
+        res.host.joules += idle_j;
+        res.ledger = rt.ledger();
+        res.ledger.post("host", {0.0, idle_j}, "package_idle");
+        res.ledger.attribute("host", idle_j);
+    }
 
     res.libraryCalls = 2 + 2 + blas3_calls + p.dotCalls() + 1;
     res.descriptors = 1 + slices;

@@ -102,9 +102,20 @@ struct StapResult
 /** Run STAP entirely on the host (the optimized MKL baseline). */
 StapResult runStapHost(const StapParams &p);
 
-/** Run STAP with memory-bounded calls on MEALib accelerators. */
+/**
+ * Run STAP with memory-bounded calls on MEALib accelerators.
+ *
+ * @p exclusive means the run owns @p rt: its accounting is reset first
+ * and the aggregate cost breakdown (host/accel/invocation, ledger,
+ * makespan) is copied into the result. Pass false when @p rt is shared
+ * between concurrent sessions — the run then leaves the aggregate
+ * accounting untouched and fills only the functional fields (prods,
+ * libraryCalls, descriptors); cost attribution comes from the calling
+ * thread's session ledger (docs/SESSIONS.md).
+ */
 StapResult runStapMealib(const StapParams &p,
-                         runtime::MealibRuntime &rt);
+                         runtime::MealibRuntime &rt,
+                         bool exclusive = true);
 
 /**
  * runStapMealib with the weight/DOT/AXPY phase sliced by doppler bin:
@@ -115,7 +126,8 @@ StapResult runStapMealib(const StapParams &p,
  * overlap shows up as criticalPathSeconds < total().seconds.
  */
 StapResult runStapMealibAsync(const StapParams &p,
-                              runtime::MealibRuntime &rt);
+                              runtime::MealibRuntime &rt,
+                              bool exclusive = true);
 
 } // namespace mealib::apps
 

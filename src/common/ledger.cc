@@ -25,10 +25,33 @@ appendCost(std::ostringstream &os, const Cost &c)
 
 } // namespace
 
+EnergyLedger::EnergyLedger(const EnergyLedger &other)
+{
+    std::lock_guard<std::mutex> lock(other.mu_);
+    tracks_ = other.tracks_;
+    components_ = other.components_;
+    events_ = other.events_;
+    flops_ = other.flops_;
+}
+
+EnergyLedger &
+EnergyLedger::operator=(const EnergyLedger &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mu_, other.mu_);
+    tracks_ = other.tracks_;
+    components_ = other.components_;
+    events_ = other.events_;
+    flops_ = other.flops_;
+    return *this;
+}
+
 void
 EnergyLedger::post(const std::string &track, const Cost &c,
                    const std::string &label)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tracks_[track] += c;
     if (!label.empty()) {
         EventStat &ev = events_[track + "/" + label];
@@ -40,23 +63,26 @@ EnergyLedger::post(const std::string &track, const Cost &c,
 void
 EnergyLedger::attribute(const std::string &component, double joules)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     components_.add(component, joules);
 }
 
 void
 EnergyLedger::note(const std::string &label)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     events_[label].count++;
 }
 
 void
 EnergyLedger::addFlops(double flops)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     flops_ += flops;
 }
 
 Cost
-EnergyLedger::total() const
+EnergyLedger::totalLocked() const
 {
     Cost t;
     for (const auto &[name, c] : tracks_)
@@ -65,8 +91,16 @@ EnergyLedger::total() const
 }
 
 Cost
+EnergyLedger::total() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totalLocked();
+}
+
+Cost
 EnergyLedger::track(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = tracks_.find(name);
     return it == tracks_.end() ? Cost{} : it->second;
 }
@@ -74,7 +108,8 @@ EnergyLedger::track(const std::string &name) const
 double
 EnergyLedger::gflopsPerWatt() const
 {
-    Cost t = total();
+    std::lock_guard<std::mutex> lock(mu_);
+    Cost t = totalLocked();
     double w = t.watts();
     if (w <= 0.0 || t.seconds <= 0.0)
         return 0.0;
@@ -84,13 +119,18 @@ EnergyLedger::gflopsPerWatt() const
 void
 EnergyLedger::reset()
 {
-    *this = EnergyLedger{};
+    std::lock_guard<std::mutex> lock(mu_);
+    tracks_.clear();
+    components_ = Breakdown{};
+    events_.clear();
+    flops_ = 0.0;
 }
 
 std::string
 EnergyLedger::toJson(const std::string &machine) const
 {
-    Cost t = total();
+    std::lock_guard<std::mutex> lock(mu_);
+    Cost t = totalLocked();
     std::ostringstream os;
     os << "{\n";
     os << "  \"machine\": \"" << machine << "\",\n";
@@ -98,7 +138,10 @@ EnergyLedger::toJson(const std::string &machine) const
        << ", \"joules\": " << jnum(t.joules)
        << ", \"watts\": " << jnum(t.watts())
        << ", \"edp\": " << jnum(t.edp()) << "},\n";
-    os << "  \"gflops_per_watt\": " << jnum(gflopsPerWatt()) << ",\n";
+    double gfw = (t.watts() > 0.0 && t.seconds > 0.0)
+                     ? flops_ / t.seconds / 1e9 / t.watts()
+                     : 0.0;
+    os << "  \"gflops_per_watt\": " << jnum(gfw) << ",\n";
 
     os << "  \"tracks\": {";
     bool first = true;

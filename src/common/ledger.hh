@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/stats.hh"
@@ -25,7 +26,16 @@
 
 namespace mealib {
 
-/** Per-run cost ledger with track/component/event views. */
+/**
+ * Per-run cost ledger with track/component/event views.
+ *
+ * Internally synchronized: one ledger may be posted to from several
+ * threads (a session's dispatcher notes decisions while the shared
+ * runtime mirrors accounting updates), so every mutator and every
+ * aggregate reader takes an internal mutex. The reference-returning
+ * views (tracks()/events()/energyByComponent()) are *not* synchronized
+ * — read them only when no other thread is posting.
+ */
 class EnergyLedger
 {
   public:
@@ -35,6 +45,10 @@ class EnergyLedger
         std::uint64_t count = 0;
         Cost cost;
     };
+
+    EnergyLedger() = default;
+    EnergyLedger(const EnergyLedger &other);
+    EnergyLedger &operator=(const EnergyLedger &other);
 
     /**
      * Charge @p c to @p track ("host", "accel", "invocation"). The
@@ -71,7 +85,11 @@ class EnergyLedger
         return events_;
     }
 
-    double flops() const { return flops_; }
+    double flops() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return flops_;
+    }
 
     /** Energy-delay product of the run total (J*s). */
     double
@@ -93,6 +111,9 @@ class EnergyLedger
     std::string toJson(const std::string &machine = "") const;
 
   private:
+    Cost totalLocked() const;
+
+    mutable std::mutex mu_;
     std::map<std::string, Cost> tracks_;
     Breakdown components_;
     std::map<std::string, EventStat> events_;

@@ -57,7 +57,7 @@ RuntimeBackend::mapCall(const OpDesc &desc, accel::OpCall *out) const
 }
 
 Status
-RuntimeBackend::flushPending()
+RuntimeBackend::flushPendingLocked()
 {
     if (pending_.empty())
         return Status();
@@ -87,7 +87,8 @@ RuntimeBackend::sync()
     // are final either way (the runtime executes eagerly and faults
     // shape cost, not values), and sync() callers have no per-call
     // Status to attach it to.
-    flushPending();
+    std::lock_guard<std::mutex> lock(wmu_);
+    flushPendingLocked();
 }
 
 Status
@@ -119,14 +120,15 @@ RuntimeBackend::execute(const OpDesc &desc)
     // only the modeled fault outcome is folded into the flush that
     // carries it.
     const unsigned home = rt_.stackOf(call.out.base);
+    std::lock_guard<std::mutex> lock(wmu_);
     if (!pending_.empty() && home != home_) {
-        if (Status st = flushPending(); !st.ok())
+        if (Status st = flushPendingLocked(); !st.ok())
             return st;
     }
     home_ = home;
     pending_.push_back({call, desc.loop});
     if (pending_.size() >= window_)
-        return flushPending();
+        return flushPendingLocked();
     return Status();
 }
 

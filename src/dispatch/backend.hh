@@ -24,6 +24,7 @@
 #ifndef MEALIB_DISPATCH_BACKEND_HH
 #define MEALIB_DISPATCH_BACKEND_HH
 
+#include <mutex>
 #include <vector>
 
 #include "dispatch/dispatcher.hh"
@@ -75,7 +76,12 @@ class RuntimeBackend final : public AccelBackend
     unsigned fusionWindow() const { return window_; }
 
     /** Calls currently buffered (tests inspect the window state). */
-    std::size_t pendingCount() const { return pending_.size(); }
+    std::size_t
+    pendingCount() const
+    {
+        std::lock_guard<std::mutex> lock(wmu_);
+        return pending_.size();
+    }
 
     runtime::MealibRuntime &runtime() { return rt_; }
 
@@ -91,11 +97,16 @@ class RuntimeBackend final : public AccelBackend
      * operand is outside the accelerator arena. */
     Status mapCall(const OpDesc &desc, accel::OpCall *out) const;
 
-    /** Build + submit one program from the buffered calls. */
-    Status flushPending();
+    /** Build + submit one program from the buffered calls. Requires
+     * wmu_ held; calls into the (internally locked) runtime — lock
+     * order is backend window → runtime, never the reverse. */
+    Status flushPendingLocked();
 
     runtime::MealibRuntime &rt_;
     unsigned window_ = 1;
+    /** Guards the fusion window (pending_/home_): a session's
+     * dispatcher may be driven by several threads at once. */
+    mutable std::mutex wmu_;
     unsigned home_ = 0; //!< home stack of the buffered calls
     std::vector<PendingCall> pending_;
 };

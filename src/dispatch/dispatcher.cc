@@ -227,12 +227,45 @@ Dispatcher::resetStats()
 Dispatcher &
 Dispatcher::global()
 {
-    static Dispatcher *instance = [] {
-        auto *d = new Dispatcher(policyFromEnv());
-        d->setCostModel(std::make_shared<RooflineCostModel>());
-        return d;
-    }();
-    return *instance;
+    // Function-local static *object* (not a leaked pointer): it is
+    // destroyed at exit in reverse order of construction, after any
+    // later-constructed session dispatchers, so LSan sees no leak once
+    // telemetry holds allocations.
+    struct GlobalDispatcher
+    {
+        Dispatcher d;
+        GlobalDispatcher() : d(policyFromEnv())
+        {
+            d.setCostModel(std::make_shared<RooflineCostModel>());
+        }
+    };
+    static GlobalDispatcher instance;
+    return instance.d;
+}
+
+namespace {
+/** The thread's bound dispatcher; null routes to Dispatcher::global(). */
+thread_local Dispatcher *tlDispatcher = nullptr;
+} // namespace
+
+Dispatcher *
+bindCurrentDispatcher(Dispatcher *dispatcher)
+{
+    Dispatcher *previous = tlDispatcher;
+    tlDispatcher = dispatcher;
+    return previous;
+}
+
+Dispatcher &
+currentDispatcher()
+{
+    return tlDispatcher != nullptr ? *tlDispatcher : Dispatcher::global();
+}
+
+bool
+hasBoundDispatcher()
+{
+    return tlDispatcher != nullptr;
 }
 
 } // namespace mealib::dispatch

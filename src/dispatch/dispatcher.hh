@@ -110,9 +110,12 @@ class Dispatcher
     void resetStats();
 
     /**
-     * The process-wide dispatcher used by the MKL-compatible layer and
-     * dispatch::ops: policy from MEALIB_OFFLOAD_POLICY (read once, at
-     * first use), RooflineCostModel attached, no backend.
+     * The default-session dispatcher: used by the MKL-compatible layer
+     * and dispatch::ops whenever the calling thread has no dispatcher
+     * bound (see currentDispatcher()). Policy from
+     * MEALIB_OFFLOAD_POLICY (read once, at first use),
+     * RooflineCostModel attached, no backend. A function-local static
+     * object, so it is destroyed cleanly at exit (no LSan leak).
      */
     static Dispatcher &global();
 
@@ -126,6 +129,23 @@ class Dispatcher
     EnergyLedger *ledger_ = nullptr;
     DispatchStats stats_;
 };
+
+/**
+ * Bind @p dispatcher as the calling thread's current dispatcher and
+ * return the previous binding (null if none). Passing null unbinds.
+ * The MKL-compatible shims and dispatch::ops route through
+ * currentDispatcher(), so a thread bound to a session's dispatcher
+ * routes unmodified legacy calls to that session; unbound threads keep
+ * using Dispatcher::global() — exactly the legacy behaviour.
+ * `mealib::Session::bind()` wraps this in an RAII guard.
+ */
+Dispatcher *bindCurrentDispatcher(Dispatcher *dispatcher);
+
+/** The calling thread's dispatcher: its binding, else global(). */
+Dispatcher &currentDispatcher();
+
+/** Whether the calling thread has an explicit dispatcher binding. */
+bool hasBoundDispatcher();
 
 } // namespace mealib::dispatch
 

@@ -13,7 +13,7 @@ saxpy(std::int64_t n, float a, const float *x, std::int64_t incx,
       float *y, std::int64_t incy)
 {
     OpDesc d = lowerSaxpy(n, a, x, incx, y, incy);
-    Dispatcher::global().run(
+    currentDispatcher().run(
         d, [&] { mkl::saxpy(n, a, x, incx, y, incy); });
 }
 
@@ -22,7 +22,7 @@ saxpby(std::int64_t n, float a, const float *x, std::int64_t incx,
        float b, float *y, std::int64_t incy)
 {
     OpDesc d = lowerSaxpby(n, a, x, incx, b, y, incy);
-    Dispatcher::global().run(
+    currentDispatcher().run(
         d, [&] { mkl::saxpby(n, a, x, incx, b, y, incy); });
 }
 
@@ -31,7 +31,7 @@ caxpy(std::int64_t n, mkl::cfloat a, const mkl::cfloat *x,
       std::int64_t incx, mkl::cfloat *y, std::int64_t incy)
 {
     OpDesc d = lowerCaxpy(n, a, x, incx, y, incy);
-    Dispatcher::global().run(
+    currentDispatcher().run(
         d, [&] { mkl::caxpy(n, a, x, incx, y, incy); });
 }
 
@@ -41,7 +41,7 @@ sdot(std::int64_t n, const float *x, std::int64_t incx, const float *y,
 {
     float r = 0.0f;
     OpDesc d = lowerSdot(n, x, incx, y, incy, &r);
-    Dispatcher::global().run(
+    currentDispatcher().run(
         d, [&] { r = mkl::sdot(n, x, incx, y, incy); });
     return r;
 }
@@ -52,7 +52,7 @@ cdotc(std::int64_t n, const mkl::cfloat *x, std::int64_t incx,
 {
     mkl::cfloat r{};
     OpDesc d = lowerCdotc(n, x, incx, y, incy, &r);
-    Dispatcher::global().run(
+    currentDispatcher().run(
         d, [&] { r = mkl::cdotc(n, x, incx, y, incy); });
     return r;
 }
@@ -65,7 +65,7 @@ sgemv(mkl::Order order, mkl::Transpose trans, std::int64_t m,
 {
     OpDesc d = lowerSgemv(order, trans, m, n, alpha, a, lda, x, incx,
                           beta, y, incy);
-    Dispatcher::global().run(d, [&] {
+    currentDispatcher().run(d, [&] {
         mkl::sgemv(order, trans, m, n, alpha, a, lda, x, incx, beta, y,
                    incy);
     });
@@ -75,7 +75,7 @@ void
 scsrmv(const mkl::CsrMatrix &a, const float *x, float *y)
 {
     OpDesc d = lowerScsrmv(a, x, y);
-    Dispatcher::global().run(d, [&] { mkl::scsrmv(a, x, y); });
+    currentDispatcher().run(d, [&] { mkl::scsrmv(a, x, y); });
 }
 
 void
@@ -84,7 +84,7 @@ cherk(mkl::Order order, mkl::Uplo uplo, mkl::Transpose trans,
       std::int64_t lda, float beta, mkl::cfloat *c, std::int64_t ldc)
 {
     OpDesc d = lowerCherk(n, k, a, beta, c);
-    Dispatcher::global().run(d, [&] {
+    currentDispatcher().run(d, [&] {
         mkl::cherk(order, uplo, trans, n, k, alpha, a, lda, beta, c,
                    ldc);
     });
@@ -97,7 +97,7 @@ ctrsm(mkl::Order order, mkl::Side side, mkl::Uplo uplo,
       std::int64_t lda, mkl::cfloat *b, std::int64_t ldb)
 {
     OpDesc d = lowerCtrsm(m, n, a, b);
-    Dispatcher::global().run(d, [&] {
+    currentDispatcher().run(d, [&] {
         mkl::ctrsm(order, side, uplo, trans, diag, m, n, alpha, a, lda,
                    b, ldb);
     });
@@ -115,7 +115,7 @@ comatcopy(mkl::Order order, mkl::Transpose trans, std::int64_t rows,
         lowerTranspose(rows, cols, alpha.real(),
                        reinterpret_cast<const float *>(a),
                        reinterpret_cast<float *>(b), true, false);
-    Dispatcher::global().run(d, [&] {
+    currentDispatcher().run(d, [&] {
         mkl::comatcopy(order, trans, rows, cols, alpha, a, lda, b, ldb);
     });
 }

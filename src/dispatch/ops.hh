@@ -4,8 +4,9 @@
  *
  * Same signatures and numerics as the mkl:: kernels they wrap — under
  * the default HostOnly policy each wrapper is exactly one mkl:: call —
- * but every invocation lowers into an OpDesc and flows through
- * Dispatcher::global(), so the apps' library calls are counted,
+ * but every invocation lowers into an OpDesc and flows through the
+ * calling thread's current dispatcher (the bound session's, else
+ * Dispatcher::global()), so the apps' library calls are counted,
  * policy-routed and offloadable without touching the call sites again.
  */
 

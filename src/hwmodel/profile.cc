@@ -137,6 +137,7 @@ lookup(const std::string &name)
 }
 
 std::mutex activeMu;
+int activePins = 0; // guarded by activeMu
 
 const MachineProfile *&
 activeSlot()
@@ -202,12 +203,49 @@ activeMachineName()
     return activeProfile().name;
 }
 
-void
+Status
 setActiveMachine(const std::string &name)
 {
-    const MachineProfile &p = profile(name); // fatal() on unknown
+    const MachineProfile *p = lookup(name);
+    if (p == nullptr) {
+        std::string known;
+        for (const std::string &n : profileNames())
+            known += (known.empty() ? "" : ", ") + n;
+        return Status::error(ErrorCode::InvalidArgument,
+                             "unknown machine profile '" + name +
+                                 "' (known: " + known + ")");
+    }
     std::lock_guard<std::mutex> lock(activeMu);
-    activeSlot() = &p;
+    if (activePins > 0)
+        return Status::error(
+            ErrorCode::InvalidArgument,
+            "cannot switch active machine to '" + name + "': " +
+                std::to_string(activePins) +
+                " live session(s) pin the current profile");
+    activeSlot() = p;
+    return Status{};
+}
+
+void
+pinActiveMachine()
+{
+    std::lock_guard<std::mutex> lock(activeMu);
+    ++activePins;
+}
+
+void
+unpinActiveMachine()
+{
+    std::lock_guard<std::mutex> lock(activeMu);
+    fatalIf(activePins <= 0, "unpinActiveMachine without a pin");
+    --activePins;
+}
+
+int
+activeMachinePins()
+{
+    std::lock_guard<std::mutex> lock(activeMu);
+    return activePins;
 }
 
 } // namespace mealib::hwmodel

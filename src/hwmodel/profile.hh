@@ -28,6 +28,7 @@
 
 #include "accel/config.hh"
 #include "accel/ops.hh"
+#include "common/status.hh"
 #include "dram/params.hh"
 #include "host/cpu.hh"
 #include "hwmodel/constants.hh"
@@ -116,10 +117,28 @@ const MachineProfile &activeProfile();
 /** Canonical name of the active profile. */
 const std::string &activeMachineName();
 
-/** Switch the active profile (canonical name or alias; fatal() on an
- * unknown one). Not thread-safe against concurrent activeProfile()
- * callers; switch before constructing runtimes. */
-void setActiveMachine(const std::string &name);
+/**
+ * Switch the active profile (canonical name or alias). Returns
+ * InvalidArgument for an unknown name, and InvalidArgument while any
+ * pin (see pinActiveMachine) is held — a live session has already
+ * captured the profile, and silently repricing its in-flight work
+ * would desynchronize cost models from accounting. Switch before
+ * constructing runtimes or sessions.
+ */
+Status setActiveMachine(const std::string &name);
+
+/**
+ * Pin the active profile against switching. Each `mealib::Session`
+ * holds one pin for its lifetime so setActiveMachine() refuses while
+ * any session is live. Pins nest; unpin exactly once per pin.
+ */
+void pinActiveMachine();
+
+/** Release one pin taken with pinActiveMachine(). */
+void unpinActiveMachine();
+
+/** Outstanding pins (0 when no session is live). */
+int activeMachinePins();
 
 // --- preset parameter builders (the constants themselves) --------------
 

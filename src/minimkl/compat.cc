@@ -46,7 +46,7 @@ cf(void *p)
 void
 run(const dsp::OpDesc &desc, const std::function<void()> &hostFn)
 {
-    dsp::Dispatcher::global().run(desc, hostFn);
+    dsp::currentDispatcher().run(desc, hostFn);
 }
 
 } // namespace

@@ -8,12 +8,16 @@
 
 namespace mealib::runtime {
 
-RuntimeConfig::RuntimeConfig()
+RuntimeConfig::RuntimeConfig() : RuntimeConfig(hwmodel::activeProfile())
 {
     // Defaults come from the active machine profile (MEALIB_MACHINE /
     // hwmodel::setActiveMachine), so a profile switch reconfigures every
-    // runtime constructed afterwards.
-    const hwmodel::MachineProfile &m = hwmodel::activeProfile();
+    // runtime constructed afterwards. Sessions use the explicit-profile
+    // constructor instead and never touch the mutable global.
+}
+
+RuntimeConfig::RuntimeConfig(const hwmodel::MachineProfile &m)
+{
     dram = m.stackDram;
     hostCpu = m.cpu;
     mesh = m.mesh;
@@ -97,7 +101,50 @@ validated(const RuntimeConfig &cfg)
     return cfg;
 }
 
+/** The thread's session ledger; runtime posts mirror into it. */
+thread_local EnergyLedger *tlSessionLedger = nullptr;
+
 } // namespace
+
+EnergyLedger *
+bindSessionLedger(EnergyLedger *ledger)
+{
+    EnergyLedger *previous = tlSessionLedger;
+    tlSessionLedger = ledger;
+    return previous;
+}
+
+EnergyLedger *
+boundSessionLedger()
+{
+    return tlSessionLedger;
+}
+
+void
+MealibRuntime::postLedger(const std::string &track, const Cost &c,
+                          const std::string &label)
+{
+    ledger_.post(track, c, label);
+    if (tlSessionLedger != nullptr && tlSessionLedger != &ledger_)
+        tlSessionLedger->post(track, c, label);
+}
+
+void
+MealibRuntime::attributeLedger(const std::string &component,
+                               double joules)
+{
+    ledger_.attribute(component, joules);
+    if (tlSessionLedger != nullptr && tlSessionLedger != &ledger_)
+        tlSessionLedger->attribute(component, joules);
+}
+
+void
+MealibRuntime::addFlopsLedger(double flops)
+{
+    ledger_.addFlops(flops);
+    if (tlSessionLedger != nullptr && tlSessionLedger != &ledger_)
+        tlSessionLedger->addFlops(flops);
+}
 
 MealibRuntime::MealibRuntime(const RuntimeConfig &cfg)
     : cfg_(validated(cfg)),
@@ -148,6 +195,7 @@ MealibRuntime::memAllocOn(unsigned stack, std::uint64_t bytes)
 {
     fatalIf(stack >= cfg_.numStacks, "memAllocOn: stack ", stack,
             " out of range (", cfg_.numStacks, " stacks)");
+    std::lock_guard<std::mutex> lock(mu_);
     Addr p = dataAllocs_[stack]->alloc(bytes);
     return mem_->raw(p, bytes);
 }
@@ -156,6 +204,7 @@ void
 MealibRuntime::memFree(void *vptr)
 {
     const Addr p = physOf(vptr);
+    std::lock_guard<std::mutex> lock(mu_);
     std::uint64_t freed = 0;
     dataAllocs_[stackOf(p)]->tryFree(p, &freed).orThrow();
     // A freed block's residency must die with it: the allocator may
@@ -239,6 +288,7 @@ MealibRuntime::evictDeadImages(std::size_t keep)
 AccPlanHandle
 MealibRuntime::accPlan(const accel::DescriptorProgram &prog)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Plan plan;
     plan.prog = prog;
     plan.imageHash = accel::programHash(prog);
@@ -326,6 +376,7 @@ MealibRuntime::homeStackOf(const accel::DescriptorProgram &prog) const
 unsigned
 MealibRuntime::homeStackOf(AccPlanHandle handle) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = plans_.find(handle);
     fatalIf(it == plans_.end(), "homeStackOf: unknown plan handle ",
             handle);
@@ -400,6 +451,13 @@ MealibRuntime::updateMakespan()
 Event
 MealibRuntime::accSubmit(AccPlanHandle handle)
 {
+    std::lock_guard<std::mutex> lock(mu_);
+    return accSubmitLocked(handle);
+}
+
+Event
+MealibRuntime::accSubmitLocked(AccPlanHandle handle)
+{
     auto it = plans_.find(handle);
     fatalIf(it == plans_.end(), "accSubmit: unknown plan handle ",
             handle);
@@ -417,11 +475,18 @@ MealibRuntime::accSubmit(AccPlanHandle handle)
     const unsigned canary = health_.canaryTarget();
     if (canary != StackHealthMonitor::kNone && !sched_->failed(canary))
         target = canary;
-    return accSubmitOn(handle, target);
+    return accSubmitOnLocked(handle, target);
 }
 
 Event
 MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return accSubmitOnLocked(handle, stackIdx);
+}
+
+Event
+MealibRuntime::accSubmitOnLocked(AccPlanHandle handle, unsigned stackIdx)
 {
     auto it = plans_.find(handle);
     fatalIf(it == plans_.end(), "accSubmit: unknown plan handle ",
@@ -478,7 +543,7 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
         }
         acct_.flushBytesElided += plan.dirtyBytes - effDirtyBytes;
         if (effDirtyBytes < plan.dirtyBytes)
-            ledger_.post("reuse", Cost{}, "flush_elided");
+            postLedger("reuse", Cost{}, "flush_elided");
     }
     Cost flush = effDirtyBytes > 0 || !residencyOn
                      ? host_.flushCost(effDirtyBytes)
@@ -567,7 +632,7 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
         acct_.verifyBytesElided +=
             2 * (plan.transferBytes - effVerifyBytes);
         if (effVerifyBytes < plan.transferBytes)
-            ledger_.post("reuse", Cost{}, "verify_elided");
+            postLedger("reuse", Cost{}, "verify_elided");
     }
     // Host-side source checksum: one pass over the operand footprint
     // before the transfer (the re-verify passes after link crossings
@@ -649,20 +714,20 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     // to physical components (the attribution view covers the whole
     // posted energy: dram+logic+noc+link+fault == the accel track,
     // "invocation" the invocation track).
-    ledger_.post("invocation", es.invocation, "flush+handshake");
-    ledger_.post("accel", accel_only, "execute");
+    postLedger("invocation", es.invocation, "flush+handshake");
+    postLedger("accel", accel_only, "execute");
     for (const auto &[k, v] : es.energyByComponent.parts())
-        ledger_.attribute(k, v);
+        attributeLedger(k, v);
     if (es.remote.joules != 0.0)
-        ledger_.attribute("link", es.remote.joules);
+        attributeLedger("link", es.remote.joules);
     if (es.faultPenalty.joules != 0.0)
-        ledger_.attribute("fault", es.faultPenalty.joules);
-    ledger_.attribute("invocation", es.invocation.joules);
+        attributeLedger("fault", es.faultPenalty.joules);
+    attributeLedger("invocation", es.invocation.joules);
     if (es.integrity.seconds != 0.0 || es.integrity.joules != 0.0) {
-        ledger_.post("integrity", es.integrity, "verify+journal");
-        ledger_.attribute("integrity", es.integrity.joules);
+        postLedger("integrity", es.integrity, "verify+journal");
+        attributeLedger("integrity", es.integrity.joules);
     }
-    ledger_.addFlops(es.flops);
+    addFlopsLedger(es.flops);
 
     // --- timeline: place the command on its stack's queue -------------
     hostWork(flush.seconds + handshake.seconds + integHost.seconds);
@@ -739,8 +804,8 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
         Cost c = host_.run(fallbackProfile(es));
         hostWork(c.seconds);
         acct_.host += c;
-        ledger_.post("host", c, "fault_fallback");
-        ledger_.attribute("host", c.joules);
+        postLedger("host", c, "fault_fallback");
+        attributeLedger("host", c.joules);
         acct_.fallbackSeconds += c.seconds;
         acct_.fallbackCount++;
         es.fellBack = true;
@@ -778,12 +843,20 @@ MealibRuntime::accSubmitOn(AccPlanHandle handle, unsigned stackIdx)
     // A struck-out stack dies only after this command's event has been
     // placed, so the failStack drain re-homes it along with the rest.
     if (strikeOut != StackHealthMonitor::kNone)
-        failStack(strikeOut);
+        failStackLocked(strikeOut);
     return Event(this, state);
 }
 
 const accel::ExecStats &
 MealibRuntime::eventWait(const std::shared_ptr<detail::EventState> &state)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return eventWaitLocked(state);
+}
+
+const accel::ExecStats &
+MealibRuntime::eventWaitLocked(
+    const std::shared_ptr<detail::EventState> &state)
 {
     // Events submitted before a resetAccounting() are stale: their
     // times belong to a discarded timeline, so waiting is a no-op.
@@ -799,6 +872,7 @@ MealibRuntime::eventWait(const std::shared_ptr<detail::EventState> &state)
 void
 MealibRuntime::waitAll()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     for (const auto &state : inflight_) {
         hostWaitUntil(state->finishSeconds);
         state->waited = true;
@@ -814,13 +888,16 @@ MealibRuntime::waitAll()
 accel::ExecStats
 MealibRuntime::accExecute(AccPlanHandle handle)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = plans_.find(handle);
     fatalIf(it == plans_.end(), "accExecute: unknown plan handle ",
             handle);
     // The paper's blocking Listing-2 semantics: submit on the plan's
-    // home stack, then poll DONE.
-    Event ev = accSubmitOn(handle, homeStackOf(it->second.prog));
-    return ev.wait();
+    // home stack, then poll DONE. One lock span covers both so another
+    // session cannot interleave between a blocking submit and its wait.
+    Event ev =
+        accSubmitOnLocked(handle, homeStackOf(it->second.prog));
+    return eventWaitLocked(ev.state_);
 }
 
 void
@@ -831,6 +908,7 @@ MealibRuntime::accDestroy(AccPlanHandle handle)
     // so the command space is not pinned by history.
     constexpr std::size_t kDeadImageCap = 16;
 
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = plans_.find(handle);
     fatalIf(it == plans_.end(), "accDestroy: unknown plan handle ",
             handle);
@@ -857,11 +935,18 @@ MealibRuntime::applyScriptedFailure()
     if (fc.failStack == fault::kNoStack || sched_->failed(fc.failStack))
         return;
     if (cmdIndex_ >= fc.failStackAfter)
-        failStack(fc.failStack);
+        failStackLocked(fc.failStack);
 }
 
 void
 MealibRuntime::failStack(unsigned stackIdx)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    failStackLocked(stackIdx);
+}
+
+void
+MealibRuntime::failStackLocked(unsigned stackIdx)
 {
     fatalIf(stackIdx >= cfg_.numStacks, "failStack: stack ", stackIdx,
             " out of range (", cfg_.numStacks, " stacks)");
@@ -949,8 +1034,8 @@ MealibRuntime::failStack(unsigned stackIdx)
             Cost c = host_.run(fallbackProfile(state->stats));
             hostWork(c.seconds);
             acct_.host += c;
-            ledger_.post("host", c, "fault_fallback");
-            ledger_.attribute("host", c.joules);
+            postLedger("host", c, "fault_fallback");
+            attributeLedger("host", c.joules);
             acct_.fallbackSeconds += c.seconds;
             acct_.fallbackCount++;
             state->stats.fellBack = true;
@@ -976,12 +1061,14 @@ MealibRuntime::failStack(unsigned stackIdx)
 bool
 MealibRuntime::stackFailed(unsigned stackIdx) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return sched_->failed(stackIdx);
 }
 
 unsigned
 MealibRuntime::healthyStackCount() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return sched_->healthyCount();
 }
 
@@ -992,6 +1079,7 @@ MealibRuntime::degradeStack(unsigned stackIdx, double slowdown)
             stackIdx, " out of range (", cfg_.numStacks, " stacks)");
     fatalIf(slowdown < 1.0, "degradeStack: slowdown must be >= 1, got ",
             slowdown);
+    std::lock_guard<std::mutex> lock(mu_);
     slowdown_[stackIdx] = slowdown;
 }
 
@@ -1000,6 +1088,7 @@ MealibRuntime::stackSlowdown(unsigned stackIdx) const
 {
     fatalIf(stackIdx >= cfg_.numStacks, "stackSlowdown: stack ",
             stackIdx, " out of range (", cfg_.numStacks, " stacks)");
+    std::lock_guard<std::mutex> lock(mu_);
     return slowdown_[stackIdx];
 }
 
@@ -1008,12 +1097,14 @@ MealibRuntime::stackHealth(unsigned stackIdx) const
 {
     fatalIf(stackIdx >= cfg_.numStacks, "stackHealth: stack ",
             stackIdx, " out of range (", cfg_.numStacks, " stacks)");
+    std::lock_guard<std::mutex> lock(mu_);
     return health_.state(stackIdx);
 }
 
 unsigned
 MealibRuntime::selectableStackCount() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return sched_->selectableCount();
 }
 
@@ -1291,8 +1382,8 @@ MealibRuntime::submitOnHost(Plan &plan, unsigned targetStack,
     Cost c = host_.run(fallbackProfile(es));
     hostWork(c.seconds);
     acct_.host += c;
-    ledger_.post("host", c, "fault_fallback");
-    ledger_.attribute("host", c.joules);
+    postLedger("host", c, "fault_fallback");
+    attributeLedger("host", c.joules);
     acct_.fallbackSeconds += c.seconds;
     acct_.fallbackCount++;
     acct_.retryCount += retries;
@@ -1334,6 +1425,7 @@ MealibRuntime::noteHostWrite(const void *vptr, std::uint64_t bytes)
     Addr lo = 0;
     if (!tryPhysOf(vptr, &lo))
         return;
+    std::lock_guard<std::mutex> lock(mu_);
     residency_.hostWrite(lo, lo + bytes);
 }
 
@@ -1342,20 +1434,22 @@ MealibRuntime::noteFusion(std::uint64_t comps)
 {
     if (comps <= 1)
         return;
+    std::lock_guard<std::mutex> lock(mu_);
     acct_.fusedPrograms++;
     acct_.handshakesElided += comps - 1;
-    ledger_.post("reuse", Cost{}, "fused_program");
+    postLedger("reuse", Cost{}, "fused_program");
 }
 
 Cost
 MealibRuntime::runOnHost(const host::KernelProfile &profile)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Cost c = host_.run(profile);
     acct_.host += c;
-    ledger_.post("host", c,
+    postLedger("host", c,
                  profile.name.empty() ? "host_kernel" : profile.name);
-    ledger_.attribute("host", c.joules);
-    ledger_.addFlops(profile.flops);
+    attributeLedger("host", c.joules);
+    addFlopsLedger(profile.flops);
     hostWork(c.seconds);
     updateMakespan();
     return c;
@@ -1364,6 +1458,7 @@ MealibRuntime::runOnHost(const host::KernelProfile &profile)
 void
 MealibRuntime::resetAccounting()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     acct_ = RuntimeAccounting{};
     ledger_.reset();
     hostSeconds_ = 0.0;

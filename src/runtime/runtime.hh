@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "accel/descriptor.hh"
@@ -53,7 +54,25 @@
 #include "runtime/residency.hh"
 #include "runtime/scheduler.hh"
 
+namespace mealib::hwmodel {
+struct MachineProfile;
+}
+
 namespace mealib::runtime {
+
+/**
+ * Bind @p ledger as the calling thread's session ledger and return the
+ * previous binding (null if none; null unbinds). While bound, every
+ * cost the runtime posts to its aggregate ledger on this thread is
+ * mirrored into @p ledger too — same sites, same order, same values —
+ * so a session's ledger holds exactly its own commands' share of the
+ * aggregate accounting. `mealib::Session::bind()` wraps this in an
+ * RAII guard; unbound threads change nothing.
+ */
+EnergyLedger *bindSessionLedger(EnergyLedger *ledger);
+
+/** The calling thread's bound session ledger (null if none). */
+EnergyLedger *boundSessionLedger();
 
 /**
  * Recovery policy for injected faults (docs/FAULTS.md): bounded retry
@@ -116,7 +135,13 @@ struct RuntimeConfig
      * constructor seeds it from MEALIB_RESIDENCY. */
     ResidencyConfig residency;
 
+    /** Defaults from the process-wide active machine profile. */
     RuntimeConfig();
+
+    /** Defaults from an explicit machine profile — the session path:
+     * a session captures its profile once and never consults the
+     * mutable active-machine global again. */
+    explicit RuntimeConfig(const hwmodel::MachineProfile &machine);
 
     /** InvalidArgument with a descriptive message if the configuration
      * is inconsistent (zero-sized spaces, command space swallowing a
@@ -206,7 +231,20 @@ struct RuntimeAccounting
     }
 };
 
-/** The MEALib runtime instance: one host, N accelerated stacks. */
+/**
+ * The MEALib runtime instance: one host, N accelerated stacks.
+ *
+ * Thread-safe at the submit/queue/residency/health boundaries: every
+ * mutating entry point (and every scalar state reader) serializes on
+ * one internal mutex, so N sessions on N threads may share a runtime
+ * (docs/SESSIONS.md). Reference-returning views — accounting(),
+ * ledger(), residency(), faultModel(), journal(), healthMonitor(),
+ * queue() — hand out unsynchronized state: read them only at
+ * quiescence (no concurrent submissions). Lock order: a session's
+ * dispatcher/backend locks are always taken *before* the runtime
+ * mutex, and the runtime never calls back out, so the order is
+ * acyclic.
+ */
 class MealibRuntime
 {
   public:
@@ -286,10 +324,20 @@ class MealibRuntime
     unsigned homeStackOf(AccPlanHandle plan) const;
 
     /** Simulated host-track clock, seconds since construction/reset. */
-    double nowSeconds() const { return hostSeconds_; }
+    double
+    nowSeconds() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return hostSeconds_;
+    }
 
     /** Commands submitted and not yet waited on. */
-    std::size_t inflightCount() const { return inflight_.size(); }
+    std::size_t
+    inflightCount() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return inflight_.size();
+    }
 
     const CommandQueue &queue(unsigned stack) const;
     const Scheduler &scheduler() const { return *sched_; }
@@ -425,6 +473,12 @@ class MealibRuntime
         std::uint64_t owner = 0; //!< event id, for drain re-homing
     };
 
+    /** The cross-session lock: serializes every mutating entry point
+     * (submission, queues, residency, health, accounting) so N
+     * sessions may share the runtime. Never held while calling out of
+     * the runtime. */
+    mutable std::mutex mu_;
+
     RuntimeConfig cfg_;
     std::unique_ptr<dram::PhysMem> mem_;
     std::vector<std::unique_ptr<dram::Stack>> stacks_;
@@ -437,6 +491,23 @@ class MealibRuntime
 
     /** Home stack of a program: where its first output operand lives. */
     unsigned homeStackOf(const accel::DescriptorProgram &prog) const;
+
+    // --- locked implementations (mu_ held by the public wrappers) ------
+
+    Event accSubmitLocked(AccPlanHandle handle);
+    Event accSubmitOnLocked(AccPlanHandle handle, unsigned stackIdx);
+    void failStackLocked(unsigned stackIdx);
+    const accel::ExecStats &
+    eventWaitLocked(const std::shared_ptr<detail::EventState> &state);
+
+    // --- session-ledger mirroring (docs/SESSIONS.md) -------------------
+
+    /** Post to the aggregate ledger and mirror into the calling
+     * thread's bound session ledger (if any). */
+    void postLedger(const std::string &track, const Cost &c,
+                    const std::string &label = "");
+    void attributeLedger(const std::string &component, double joules);
+    void addFlopsLedger(double flops);
 
     /** Advance the host track doing work (counts as busy time). */
     void hostWork(double seconds);

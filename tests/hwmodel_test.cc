@@ -57,12 +57,30 @@ TEST(Registry, ActiveMachineDefaultsToHaswell)
 
 TEST(Registry, SetActiveMachineSwitchesAndRestores)
 {
-    hwmodel::setActiveMachine("phi");
+    EXPECT_TRUE(hwmodel::setActiveMachine("phi").ok());
     EXPECT_EQ(hwmodel::activeProfile().name, "xeonphi5110p");
-    hwmodel::setActiveMachine("haswell4770k");
+    EXPECT_TRUE(hwmodel::setActiveMachine("haswell4770k").ok());
     EXPECT_EQ(hwmodel::activeProfile().name, "haswell4770k");
-    EXPECT_THROW(hwmodel::setActiveMachine("vax11"), FatalError);
+    const Status bad = hwmodel::setActiveMachine("vax11");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::InvalidArgument);
     EXPECT_EQ(hwmodel::activeProfile().name, "haswell4770k");
+}
+
+TEST(Registry, SetActiveMachineRefusesWhilePinned)
+{
+    // A live session pins the active profile; switching under it would
+    // silently reprice in-flight work.
+    hwmodel::pinActiveMachine();
+    EXPECT_EQ(hwmodel::activeMachinePins(), 1);
+    const Status st = hwmodel::setActiveMachine("phi");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(hwmodel::activeProfile().name, "haswell4770k");
+    hwmodel::unpinActiveMachine();
+    EXPECT_EQ(hwmodel::activeMachinePins(), 0);
+    EXPECT_TRUE(hwmodel::setActiveMachine("phi").ok());
+    EXPECT_TRUE(hwmodel::setActiveMachine("haswell4770k").ok());
 }
 
 TEST(Registry, LegacyFactoriesForwardToRegistry)

@@ -247,9 +247,9 @@ TEST(MachineSwitch, RuntimeDefaultsFollowActiveProfile)
     runtime::RuntimeConfig hw_cfg;
     EXPECT_EQ(hw_cfg.hostCpu.name,
               hwmodel::profile("haswell4770k").cpu.name);
-    hwmodel::setActiveMachine("phi");
+    hwmodel::setActiveMachine("phi").orThrow();
     runtime::RuntimeConfig phi_cfg;
-    hwmodel::setActiveMachine("haswell4770k");
+    hwmodel::setActiveMachine("haswell4770k").orThrow();
     EXPECT_EQ(phi_cfg.hostCpu.name,
               hwmodel::profile("xeonphi5110p").cpu.name);
     EXPECT_NE(hw_cfg.hostCpu.idleW, phi_cfg.hostCpu.idleW);
@@ -300,9 +300,9 @@ TEST(MachineSwitch, PhiChangesModeledCostNotFunctionalOutput)
     std::vector<float> hw_out, phi_out;
     Cost hw_cost, phi_cost;
     run(&hw_out, &hw_cost);
-    hwmodel::setActiveMachine("phi");
+    hwmodel::setActiveMachine("phi").orThrow();
     run(&phi_out, &phi_cost);
-    hwmodel::setActiveMachine("haswell4770k");
+    hwmodel::setActiveMachine("haswell4770k").orThrow();
 
     ASSERT_EQ(hw_out.size(), phi_out.size());
     for (std::size_t i = 0; i < hw_out.size(); ++i)

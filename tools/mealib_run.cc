@@ -14,6 +14,7 @@
  *              [--quarantine-canaries=N] [--quarantine-strikes=N]
  *              [--offload-policy=P] [--dispatch-json=PATH]
  *              [--machine=M] [--energy-json=PATH] [--help]
+ *   mealib-run --clients=N [--app=stap|sar|cg|mix] [options]
  *
  * Exit codes: 0 on success, 1 on an internal error, 2 on a usage /
  * configuration error, 3 when a submitted command reached an
@@ -68,6 +69,17 @@
  * the dispatcher with the host policy when --offload-policy is absent.
  * Without either flag the legacy wholesale path runs untouched.
  *
+ * --clients=N (docs/SESSIONS.md) switches to the multi-tenant driver:
+ * no TDL program is read; instead N client threads each open a
+ * mealib::Session over ONE shared runtime, bind it to their thread and
+ * run --app (stap | sar | cg, or the default mix that round-robins all
+ * three). Every client's functional output is digested (FNV-1a) and
+ * verified against a solo run of the same application on a private
+ * runtime — multi-tenancy must not change anyone's numbers — and the
+ * per-session energy ledgers are summed against the shared runtime's
+ * aggregate accounting. Any digest mismatch or ledger-sum divergence
+ * exits 1.
+ *
  * --machine=M selects the hardware-model profile every layer prices
  * against (haswell4770k | xeonphi5110p, aliases haswell | phi); it
  * overrides the MEALIB_MACHINE environment variable and defaults to
@@ -76,15 +88,20 @@
  * docs/MODEL.md) after the run.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "accel/descriptor.hh"
+#include "apps/cg.hh"
+#include "apps/sar.hh"
+#include "apps/stap.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "dispatch/backend.hh"
@@ -95,6 +112,7 @@
 #include "hwmodel/profile.hh"
 #include "runtime/runtime.hh"
 #include "s2s/compiler.hh"
+#include "session/session.hh"
 #include "tdl/codegen.hh"
 
 using namespace mealib;
@@ -149,6 +167,14 @@ printHelp(const std::string &program)
         "  --quarantine-canaries=N   clean canaries to re-admit (2)\n"
         "  --quarantine-strikes=N    probation failures before the\n"
         "                         stack dies for good (0 = never)\n"
+        "\n"
+        "multi-tenant (docs/SESSIONS.md):\n"
+        "  --clients=N            N client threads, one session each,\n"
+        "                         against ONE shared runtime (no TDL\n"
+        "                         file); outputs verified against solo\n"
+        "                         digests, session ledgers summed\n"
+        "                         against the aggregate accounting\n"
+        "  --app=A                stap | sar | cg | mix (default mix)\n"
         "\n"
         "dispatch & output:\n"
         "  --offload-policy=P     host | accel | crossover | calibrated\n"
@@ -229,6 +255,146 @@ writeEnergyJson(const runtime::MealibRuntime &rt,
     fatalIf(!out, "cannot write '", path, "'");
     out << rt.ledger().toJson(hwmodel::activeMachineName()) << "\n";
     std::printf("energy ledger written to %s\n", path.c_str());
+}
+
+/** FNV-1a digest of a buffer (stable, platform-independent). */
+std::uint64_t
+fnv1a(const void *data, std::size_t bytes)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/**
+ * One client's application against @p rt, executed under the calling
+ * thread's session binding. Shared mode throughout (exclusive=false):
+ * the apps neither reset nor read the runtime's aggregate accounting —
+ * attribution comes from the bound session's ledger. Returns the
+ * FNV-1a digest of the functional output.
+ */
+std::uint64_t
+runClientApp(const std::string &app, runtime::MealibRuntime &rt)
+{
+    if (app == "stap") {
+        apps::StapResult r = apps::runStapMealib(
+            apps::StapParams::smallSet(), rt, /*exclusive=*/false);
+        return fnv1a(r.prods.data(),
+                     r.prods.size() * sizeof(r.prods[0]));
+    }
+    if (app == "sar") {
+        apps::SarResult r = apps::runSarChain(64, true, rt, 7);
+        return fnv1a(r.image.data(),
+                     r.image.size() * sizeof(r.image[0]));
+    }
+    if (app == "cg") {
+        mkl::CsrMatrix a = apps::cgTestMatrix(600, 1);
+        std::vector<float> b(600);
+        for (std::size_t i = 0; i < b.size(); ++i)
+            b[i] = static_cast<float>(
+                std::sin(0.05 * static_cast<double>(i)));
+        apps::CgOptions opts;
+        opts.exclusive = false;
+        apps::CgResult r = apps::solveCgMealib(a, b, rt, opts);
+        return fnv1a(r.x.data(), r.x.size() * sizeof(float));
+    }
+    throw MealibError(
+        Status::error(ErrorCode::InvalidArgument,
+                      "--app '" + app + "' is not stap|sar|cg|mix"));
+}
+
+/**
+ * The --clients=N multi-tenant driver: N threads, one Session each,
+ * against one shared runtime. Per-client digests must match a solo run
+ * of the same app (isolation), and the per-session ledgers must sum to
+ * the shared runtime's aggregate accounting (exact attribution).
+ */
+int
+runClients(const Cli &cli, const runtime::RuntimeConfig &cfg,
+           unsigned clients, const std::string &appSpec,
+           const SessionOptions &sopts,
+           const std::string &energyJsonPath)
+{
+    static const char *kMix[] = {"stap", "sar", "cg"};
+    std::vector<std::string> appOf(clients);
+    for (unsigned i = 0; i < clients; ++i)
+        appOf[i] = appSpec == "mix" ? kMix[i % 3] : appSpec;
+
+    // Solo oracles: each distinct app once, alone on a private
+    // runtime. Multi-tenancy must not change anyone's numbers.
+    std::map<std::string, std::uint64_t> reference;
+    for (const std::string &app : appOf) {
+        if (reference.count(app) != 0)
+            continue;
+        runtime::MealibRuntime solo(cfg);
+        Session s(solo, sopts);
+        SessionBinding bound = s.bind();
+        reference[app] = runClientApp(app, solo);
+    }
+
+    // The shared stack: one runtime, N sessions, N threads.
+    runtime::MealibRuntime rt(cfg);
+    std::vector<std::unique_ptr<Session>> sessions;
+    for (unsigned i = 0; i < clients; ++i)
+        sessions.push_back(std::make_unique<Session>(rt, sopts));
+    std::vector<std::uint64_t> digest(clients, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned i = 0; i < clients; ++i)
+        threads.emplace_back([&rt, &sessions, &digest, &appOf, i] {
+            SessionBinding bound = sessions[i]->bind();
+            digest[i] = runClientApp(appOf[i], rt);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    rt.waitAll();
+
+    int rc = 0;
+    Cost sum;
+    std::printf("multitenant: %u client(s), app %s, policy %s\n",
+                clients, appSpec.c_str(),
+                sopts.policy.empty() ? "(env)" : sopts.policy.c_str());
+    for (unsigned i = 0; i < clients; ++i) {
+        const Cost c = sessions[i]->ledger().total();
+        sum += c;
+        const bool ok = digest[i] == reference[appOf[i]];
+        std::printf("client %u: app %-4s digest %016llx %s  "
+                    "%10.6f ms  %10.6f mJ\n",
+                    i, appOf[i].c_str(),
+                    static_cast<unsigned long long>(digest[i]),
+                    ok ? "OK      " : "MISMATCH", c.seconds * 1e3,
+                    c.joules * 1e3);
+        if (!ok)
+            rc = 1;
+    }
+    for (const auto &[app, d] : reference)
+        std::printf("digest[%s]=%016llx\n", app.c_str(),
+                    static_cast<unsigned long long>(d));
+
+    const Cost agg = rt.accounting().total();
+    const double ds =
+        std::abs(sum.seconds - agg.seconds) /
+        std::max({std::abs(agg.seconds), 1e-300});
+    const double dj = std::abs(sum.joules - agg.joules) /
+                      std::max({std::abs(agg.joules), 1e-300});
+    const bool ledgers_ok = ds <= 1e-9 && dj <= 1e-9;
+    std::printf("ledgers: sum %.9f ms / %.9f mJ, aggregate %.9f ms / "
+                "%.9f mJ (%s)\n",
+                sum.seconds * 1e3, sum.joules * 1e3, agg.seconds * 1e3,
+                agg.joules * 1e3, ledgers_ok ? "match" : "DIVERGED");
+    if (!ledgers_ok)
+        rc = 1;
+
+    writeEnergyJson(rt, energyJsonPath);
+    if (rc != 0)
+        std::fprintf(stderr, "%s: multi-tenant isolation check "
+                             "failed\n",
+                     cli.program().c_str());
+    return rc;
 }
 
 int
@@ -367,7 +533,7 @@ main(int argc, char **argv)
         printHelp(cli.program());
         return 0;
     }
-    if (cli.positional().empty()) {
+    if (cli.positional().empty() && !cli.has("clients")) {
         std::fprintf(stderr,
                      "usage: %s <program.tdl> [options]; see --help\n",
                      cli.program().c_str());
@@ -376,6 +542,40 @@ main(int argc, char **argv)
     setVerbose(cli.has("verbose"));
 
     try {
+        // --- multi-tenant driver (docs/SESSIONS.md) --------------------
+        if (cli.has("clients")) {
+            const std::string machine = cli.get("machine", "");
+            if (!machine.empty())
+                hwmodel::setActiveMachine(machine).orThrow();
+            const std::int64_t n = cli.getInt("clients", 0);
+            if (n < 1) {
+                throw MealibError(
+                    Status::error(ErrorCode::InvalidArgument,
+                                  "--clients must be at least 1"));
+            }
+            runtime::RuntimeConfig cfg;
+            cfg.backingBytes = static_cast<std::uint64_t>(
+                                   cli.getInt("arena-mib", 256))
+                               << 20;
+            cfg.numStacks =
+                static_cast<unsigned>(cli.getInt("stacks", 2));
+            cfg.queueDepth =
+                static_cast<unsigned>(cli.getInt("queue-depth", 8));
+            SessionOptions sopts;
+            sopts.policy = cli.get("offload-policy", "");
+            if (!sopts.policy.empty() &&
+                dispatch::makePolicy(sopts.policy) == nullptr)
+                throw MealibError(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "--offload-policy '" + sopts.policy +
+                        "' is not host|accel|crossover|calibrated"));
+            sopts.fusionWindow = static_cast<unsigned>(
+                cli.getInt("fusion-window", 0));
+            return runClients(cli, cfg, static_cast<unsigned>(n),
+                              cli.get("app", "mix"), sopts,
+                              cli.get("energy-json", ""));
+        }
+
         const std::string tdl_path = cli.positional()[0];
         const std::string params_dir =
             cli.get("params", dirName(tdl_path));
@@ -392,7 +592,7 @@ main(int argc, char **argv)
         // machine profile.
         const std::string machine = cli.get("machine", "");
         if (!machine.empty())
-            hwmodel::setActiveMachine(machine);
+            hwmodel::setActiveMachine(machine).orThrow();
 
         runtime::RuntimeConfig cfg;
         cfg.functional = !cli.has("cost-only");
