@@ -12,6 +12,7 @@
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -21,6 +22,8 @@
 #include "bench_util.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
+#include "hwmodel/profile.hh"
 #include "minimkl/blas1.hh"
 #include "minimkl/blas2.hh"
 #include "minimkl/blas3.hh"
@@ -59,8 +62,23 @@ struct Options
     std::string jsonPath;
     bool quick = false;
     std::vector<int> threads;
+    std::vector<simd::SimdLevel> simdLevels;
     bench::TimingConfig timing;
 };
+
+/**
+ * SIMD levels to sweep by default: the pinned scalar baseline plus the
+ * best level this machine supports (collapsed to scalar-only when no
+ * vector backend is available).
+ */
+std::vector<simd::SimdLevel>
+defaultSimdSweep()
+{
+    std::vector<simd::SimdLevel> levels{simd::SimdLevel::Scalar};
+    if (simd::detectedLevel() != simd::SimdLevel::Scalar)
+        levels.push_back(simd::SimdLevel::Auto);
+    return levels;
+}
 
 /** Thread counts to sweep: 1, 2, and the hardware width (deduped). */
 std::vector<int>
@@ -81,44 +99,61 @@ struct Report
     bench::Table &table;
     bench::JsonWriter &json;
     const Options &opt;
+    //! Modeled peak DRAM bandwidth of the active machine profile, GB/s;
+    //! measured GB/s over this is the roofline fraction.
+    double peakGBs =
+        hwmodel::activeProfile().cpu.memBandwidth * 1e-9;
 
     void
     row(const std::string &kernel, long long n, int threads,
-        const bench::TimingResult &t, double bytesPerCall,
-        double naiveSeconds, double oneThreadSeconds)
+        const std::string &simdName, const bench::TimingResult &t,
+        double bytesPerCall, double naiveSeconds,
+        double oneThreadSeconds, double scalarSeconds)
     {
         double gbps = bytesPerCall / t.secondsPerCall * 1e-9;
+        double rooflineFrac = peakGBs > 0.0 ? gbps / peakGBs : 0.0;
         double vsNaive =
             naiveSeconds > 0.0 ? naiveSeconds / t.secondsPerCall : 0.0;
         double vs1t = oneThreadSeconds > 0.0
                           ? oneThreadSeconds / t.secondsPerCall
                           : 0.0;
+        double vsScalar = scalarSeconds > 0.0
+                              ? scalarSeconds / t.secondsPerCall
+                              : 0.0;
         table.row({kernel, std::to_string(n), std::to_string(threads),
-                   bench::fmt("%.3f", t.secondsPerCall * 1e3),
+                   simdName, bench::fmt("%.3f", t.secondsPerCall * 1e3),
                    bench::fmt("%.2f", gbps),
+                   bench::fmt("%.2f", rooflineFrac),
                    naiveSeconds > 0.0 ? bench::fmt("%.2f", vsNaive) : "-",
                    oneThreadSeconds > 0.0 ? bench::fmt("%.2f", vs1t)
-                                          : "-"});
+                                          : "-",
+                   scalarSeconds > 0.0 ? bench::fmt("%.2f", vsScalar)
+                                       : "-"});
         json.beginRecord();
         json.field("kernel", kernel);
         json.field("n", n);
         json.field("threads", static_cast<long long>(threads));
+        json.field("simd", simdName);
         json.field("seconds", t.secondsPerCall);
         json.field("iters_per_rep", static_cast<long long>(t.itersPerRep));
         json.field("repetitions",
                    static_cast<long long>(t.repetitions));
         json.field("gb_per_s", gbps);
+        json.field("roofline_frac", rooflineFrac);
         if (naiveSeconds > 0.0)
             json.field("speedup_vs_naive", vsNaive);
         if (oneThreadSeconds > 0.0)
             json.field("speedup_vs_1thread", vs1t);
+        if (scalarSeconds > 0.0)
+            json.field("speedup_vs_scalar", vsScalar);
         json.endRecord();
     }
 };
 
 /**
- * Sweep an optimized kernel over the thread counts against one naive
- * baseline measurement; ratios vs the naive time and vs the kernel's own
+ * Sweep an optimized kernel over the SIMD levels x thread counts
+ * against one naive baseline measurement; ratios vs the naive time,
+ * vs the kernel's own 1-thread time at that level and vs the scalar
  * 1-thread time are recorded. @p optimized must be re-runnable.
  */
 template <typename OptFn, typename NaiveFn>
@@ -131,19 +166,33 @@ sweep(Report &rep, const std::string &kernel, long long n,
         kernelTuning().numThreads = 1;
         bench::TimingResult t = bench::timeKernel(naive, rep.opt.timing);
         naiveSec = t.secondsPerCall;
-        rep.row(kernel + "_naive", n, 1, t, bytesPerCall, 0.0, 0.0);
+        rep.row(kernel + "_naive", n, 1, "-", t, bytesPerCall, 0.0, 0.0,
+                0.0);
     }
-    double oneThreadSec = 0.0;
-    for (int threads : rep.opt.threads) {
-        kernelTuning().numThreads = threads;
-        bench::TimingResult t =
-            bench::timeKernel(optimized, rep.opt.timing);
-        if (threads == 1)
-            oneThreadSec = t.secondsPerCall;
-        rep.row(kernel, n, threads, t, bytesPerCall, naiveSec,
-                threads == 1 ? 0.0 : oneThreadSec);
+    double scalarOneThreadSec = 0.0;
+    for (simd::SimdLevel level : rep.opt.simdLevels) {
+        kernelTuning().simd = level;
+        const simd::SimdLevel resolved = simd::resolveLevel(level);
+        const std::string simdName = simd::name(resolved);
+        double oneThreadSec = 0.0;
+        for (int threads : rep.opt.threads) {
+            kernelTuning().numThreads = threads;
+            bench::TimingResult t =
+                bench::timeKernel(optimized, rep.opt.timing);
+            if (threads == 1) {
+                oneThreadSec = t.secondsPerCall;
+                if (resolved == simd::SimdLevel::Scalar)
+                    scalarOneThreadSec = t.secondsPerCall;
+            }
+            rep.row(kernel, n, threads, simdName, t, bytesPerCall,
+                    naiveSec, threads == 1 ? 0.0 : oneThreadSec,
+                    threads == 1 && resolved != simd::SimdLevel::Scalar
+                        ? scalarOneThreadSec
+                        : 0.0);
+        }
     }
     kernelTuning().numThreads = 1;
+    kernelTuning().simd = simd::SimdLevel::Auto;
 }
 
 void
@@ -273,9 +322,50 @@ benchCherk(Report &rep, std::int64_t n, std::int64_t k)
         });
 }
 
+/** FNV-1a over raw bytes — the cross-ISA output digest. */
+std::uint64_t
+fnv1a(const void *data, std::size_t bytes, std::uint64_t h)
+{
+    const auto *b = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= b[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 /**
- * Bit-reproducibility probe: the deterministic reductions must return
- * identical bits for every thread count and across repeated runs.
+ * Digest of a representative kernel batch (map + reductions + gemv) at
+ * the current tuning: every float bit of every output feeds the hash.
+ */
+std::uint64_t
+outputDigest(std::int64_t n, const std::vector<float> &x,
+             const std::vector<float> &y)
+{
+    std::vector<float> v(y);
+    mkl::saxpy(n, 1.0001f, x.data(), 1, v.data(), 1);
+    float d = mkl::sdot(n, x.data(), 1, y.data(), 1);
+    float r = mkl::snrm2(n, x.data(), 1);
+    float s = mkl::sasum(n, x.data(), 1);
+    const std::int64_t dim = 128;
+    std::vector<float> gy(static_cast<std::size_t>(dim));
+    mkl::sgemv(mkl::Order::RowMajor, mkl::Transpose::NoTrans, dim, dim,
+               1.0f, x.data(), dim, y.data(), 1, 0.0f, gy.data(), 1);
+    std::uint64_t h = 1469598103934665603ull;
+    h = fnv1a(v.data(), v.size() * sizeof(float), h);
+    h = fnv1a(&d, sizeof(d), h);
+    h = fnv1a(&r, sizeof(r), h);
+    h = fnv1a(&s, sizeof(s), h);
+    h = fnv1a(gy.data(), gy.size() * sizeof(float), h);
+    return h;
+}
+
+/**
+ * Bit-reproducibility probe. Two pins:
+ *  - per level, the deterministic reductions must return identical bits
+ *    for every thread count and across repeated runs;
+ *  - every non-scalar level must produce the same output digest (the
+ *    fixed-width virtual vectors make sse4/avx2/avx512 bit-identical).
  * @return true when every sweep agrees.
  */
 bool
@@ -285,26 +375,48 @@ checkDeterminism(const Options &opt, bench::JsonWriter &json)
     auto x = randomVec(n, 21);
     auto y = randomVec(n, 22);
 
-    bool ok = true;
-    kernelTuning().numThreads = 1;
-    const float dotRef = mkl::sdot(n, x.data(), 1, y.data(), 1);
-    const float nrmRef = mkl::snrm2(n, x.data(), 1);
-    const float asumRef = mkl::sasum(n, x.data(), 1);
-    for (int threads : {1, 2, 8}) {
-        kernelTuning().numThreads = threads;
-        for (int rep = 0; rep < 3; ++rep) {
-            float d = mkl::sdot(n, x.data(), 1, y.data(), 1);
-            float r = mkl::snrm2(n, x.data(), 1);
-            float s = mkl::sasum(n, x.data(), 1);
-            ok = ok &&
-                 std::memcmp(&d, &dotRef, sizeof(float)) == 0 &&
-                 std::memcmp(&r, &nrmRef, sizeof(float)) == 0 &&
-                 std::memcmp(&s, &asumRef, sizeof(float)) == 0;
+    bool threadsOk = true;
+    bool crossIsaOk = true;
+    std::uint64_t vectorDigest = 0;
+    bool haveVectorDigest = false;
+    for (simd::SimdLevel level : simd::availableLevels()) {
+        kernelTuning().simd = level;
+        kernelTuning().numThreads = 1;
+        const float dotRef = mkl::sdot(n, x.data(), 1, y.data(), 1);
+        const float nrmRef = mkl::snrm2(n, x.data(), 1);
+        const float asumRef = mkl::sasum(n, x.data(), 1);
+        for (int threads : {1, 2, 8}) {
+            kernelTuning().numThreads = threads;
+            for (int rep = 0; rep < 3; ++rep) {
+                float d = mkl::sdot(n, x.data(), 1, y.data(), 1);
+                float r = mkl::snrm2(n, x.data(), 1);
+                float s = mkl::sasum(n, x.data(), 1);
+                threadsOk =
+                    threadsOk &&
+                    std::memcmp(&d, &dotRef, sizeof(float)) == 0 &&
+                    std::memcmp(&r, &nrmRef, sizeof(float)) == 0 &&
+                    std::memcmp(&s, &asumRef, sizeof(float)) == 0;
+            }
+            std::uint64_t digest = outputDigest(n, x, y);
+            if (level != simd::SimdLevel::Scalar) {
+                if (!haveVectorDigest) {
+                    vectorDigest = digest;
+                    haveVectorDigest = true;
+                } else if (digest != vectorDigest) {
+                    crossIsaOk = false;
+                    std::fprintf(stderr,
+                                 "cross-ISA digest mismatch at %s x %d "
+                                 "threads\n",
+                                 simd::name(level), threads);
+                }
+            }
         }
     }
     kernelTuning().numThreads = 1;
-    json.meta("reductions_bit_identical", ok);
-    return ok;
+    kernelTuning().simd = simd::SimdLevel::Auto;
+    json.meta("reductions_bit_identical", threadsOk);
+    json.meta("cross_isa_bit_identical", crossIsaOk);
+    return threadsOk && crossIsaOk;
 }
 
 Options
@@ -312,6 +424,7 @@ parseArgs(int argc, char **argv)
 {
     Options opt;
     opt.threads = defaultThreadSweep();
+    opt.simdLevels = defaultSimdSweep();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
@@ -320,6 +433,24 @@ parseArgs(int argc, char **argv)
             opt.quick = true;
             opt.timing.targetSeconds = 0.01;
             opt.timing.repetitions = 3;
+        } else if (arg == "--simd" && i + 1 < argc) {
+            opt.simdLevels.clear();
+            std::string list = argv[++i];
+            std::size_t pos = 0;
+            while (pos < list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string item = list.substr(pos, comma - pos);
+                simd::SimdLevel level;
+                if (!simd::parseLevel(item.c_str(), &level)) {
+                    std::fprintf(stderr, "unknown simd level '%s'\n",
+                                 item.c_str());
+                    std::exit(2);
+                }
+                opt.simdLevels.push_back(level);
+                pos = comma + 1;
+            }
         } else if (arg == "--threads" && i + 1 < argc) {
             opt.threads.clear();
             std::string list = argv[++i];
@@ -335,7 +466,8 @@ parseArgs(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: kernels_microbench [--json <path>] "
-                         "[--quick] [--threads 1,2,4]\n");
+                         "[--quick] [--threads 1,2,4] "
+                         "[--simd scalar,sse4,avx2,avx512,auto]\n");
             std::exit(2);
         }
     }
@@ -353,13 +485,15 @@ main(int argc, char **argv)
                   "library kernels must beat handwritten loops "
                   "(Figure 1) — optimized vs naive, by thread count");
 
-    bench::Table table({"kernel", "n", "threads", "ms/call", "GB/s",
-                        "vs_naive", "vs_1t"});
+    bench::Table table({"kernel", "n", "threads", "simd", "ms/call",
+                        "GB/s", "roofline", "vs_naive", "vs_1t",
+                        "vs_scalar"});
     bench::JsonWriter json;
     json.meta("bench", "kernels_microbench");
     json.meta("hardware_threads",
               static_cast<double>(std::thread::hardware_concurrency()));
     json.meta("quick", opt.quick);
+    json.meta("simd_detected", simd::name(simd::detectedLevel()));
 
     Report rep{table, json, opt};
 
@@ -389,7 +523,8 @@ main(int argc, char **argv)
     bool deterministic = checkDeterminism(opt, json);
 
     table.print();
-    std::printf("parallel reductions bit-identical across threads: %s\n",
+    std::printf("reductions bit-identical across threads and "
+                "non-scalar ISA levels: %s\n",
                 deterministic ? "yes" : "NO");
 
     if (!opt.jsonPath.empty()) {

@@ -42,6 +42,11 @@ KernelTuning::fromEnv()
                              std::int64_t{1} << 30);
     t.tile = envInt64("MEALIB_TILE", t.tile, 4, 4096);
     t.gemmBlock = envInt64("MEALIB_GEMM_BLOCK", t.gemmBlock, 4, 4096);
+    if (const char *s = std::getenv("MEALIB_SIMD"); s != nullptr && *s) {
+        simd::SimdLevel level;
+        if (simd::parseLevel(s, &level))
+            t.simd = level;
+    }
     return t;
 }
 

@@ -38,6 +38,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/simd.hh"
+
 namespace mealib {
 
 /**
@@ -49,6 +51,7 @@ namespace mealib {
  *   MEALIB_REDUCE_CHUNK    fixed chunk size for deterministic reductions
  *   MEALIB_TILE            transpose tile edge (elements)
  *   MEALIB_GEMM_BLOCK      level-3 blocking factor
+ *   MEALIB_SIMD            scalar|sse4|avx2|avx512|auto kernel backend
  */
 struct KernelTuning
 {
@@ -57,6 +60,7 @@ struct KernelTuning
     std::int64_t reduceChunk = 1 << 14;
     std::int64_t tile = 32;
     std::int64_t gemmBlock = 64;
+    simd::SimdLevel simd = simd::SimdLevel::Auto;
 
     /** Build a tuning with defaults taken from the environment. */
     static KernelTuning fromEnv();

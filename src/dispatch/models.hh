@@ -79,14 +79,26 @@ class RooflineCostModel final : public CostModel
      * Amortize the per-invocation overhead (flush + handshake) over a
      * fusion window of @p window calls: with the runtime backend fusing
      * adjacent same-stack calls into one descriptor program, only one
-     * invocation is paid per window. Clears the accel memo (cached
-     * estimates embed the overhead). @p window < 1 is treated as 1
-     * (no fusion — the exact legacy pricing).
+     * invocation is paid per window. The accel memo is keyed by the
+     * window, so estimates cached under other windows survive a toggle
+     * and are reused when that window returns. @p window < 1 is treated
+     * as 1 (no fusion — the exact legacy pricing).
      */
     void setFusionWindow(unsigned window);
     unsigned fusionWindow() const;
 
     const hwmodel::MachineProfile &machine() const { return machine_; }
+
+    /**
+     * Host throughput recalibration factor applied to hostSeconds().
+     * 1.0 unless MEALIB_HOST_CALIBRATE is set, in which case a startup
+     * streaming microprobe measures the actual machine's bandwidth and
+     * scales the modeled host times by measured/modeled (cached per
+     * machine profile, so the probe runs once per process). Off by
+     * default: the modeled host baseline is part of the pinned pricing
+     * (the drift-pin tests assert registry parity).
+     */
+    double hostCalibrationScale() const { return hostScale_; }
 
     /** Fixed per-invocation accelerator overhead (descriptor copy +
      * START handshake), excluding the size-dependent cache flush. */
@@ -94,12 +106,15 @@ class RooflineCostModel final : public CostModel
         hwmodel::kHandshakeSeconds;
 
   private:
+    /** (kind, n, m, k, complex, iterations, fusionWindow). The machine
+     * is per-instance, so it needs no key slot. */
     using Key = std::tuple<std::uint8_t, std::uint64_t, std::uint64_t,
-                           std::uint64_t, bool, std::uint64_t>;
-    static Key keyOf(const OpDesc &desc);
+                           std::uint64_t, bool, std::uint64_t, unsigned>;
+    static Key keyOf(const OpDesc &desc, unsigned window);
 
     const hwmodel::MachineProfile &machine_;
     host::CpuModel cpu_;
+    double hostScale_ = 1.0;
     unsigned fusionWindow_ = 1;
     mutable std::mutex mu_;
     mutable std::map<Key, double> hostCache_;

@@ -104,6 +104,9 @@ TraceBuilder::addLinear(Addr base, std::uint64_t bytes, bool write)
     // Materialize a prefix window; a linear stream's steady state is
     // position-independent so a prefix is a faithful sample.
     std::uint64_t window = std::min(bytes, cap_);
+    // One burst per aligned boundary crossed, plus unaligned edges.
+    s.bursts.reserve(static_cast<std::size_t>(
+        window / params_.timing.burstBytes + 2));
     chunk(s, base, window, write);
     streams_.push_back(std::move(s));
 }
@@ -123,6 +126,8 @@ TraceBuilder::addStrided(Addr base, std::uint64_t chunkBytes,
     std::uint64_t max_chunks =
         std::max<std::uint64_t>(1, cap_ / chunkBytes);
     std::uint64_t n = std::min(count, max_chunks);
+    s.bursts.reserve(static_cast<std::size_t>(
+        n * (chunkBytes / params_.timing.burstBytes + 1)));
     for (std::uint64_t i = 0; i < n; ++i)
         chunk(s, base + i * strideBytes, chunkBytes, write);
     streams_.push_back(std::move(s));
@@ -142,6 +147,8 @@ TraceBuilder::addGather(Addr base, std::uint64_t regionBytes,
     std::uint64_t max_elems =
         std::max<std::uint64_t>(1, cap_ / elemBytes);
     std::uint64_t n = std::min(count, max_elems);
+    s.bursts.reserve(static_cast<std::size_t>(
+        n * (elemBytes / params_.timing.burstBytes + 1)));
     const std::uint64_t slots = regionBytes / elemBytes;
     for (std::uint64_t i = 0; i < n; ++i) {
         Addr a = base + rng.below(slots) * elemBytes;

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 
 namespace mealib::mkl {
 
@@ -15,6 +16,13 @@ inline std::int64_t
 startIndex(std::int64_t n, std::int64_t inc)
 {
     return inc >= 0 ? 0 : (1 - n) * inc;
+}
+
+/** Interleaved re/im view of a complex array for the SIMD kernels. */
+inline const float *
+flat(const cfloat *p)
+{
+    return reinterpret_cast<const float *>(p);
 }
 
 /**
@@ -55,8 +63,13 @@ saxpy(std::int64_t n, float a, const float *x, std::int64_t incx, float *y,
     fatalIf(incx == 0 || incy == 0, "saxpy: zero stride");
     if (incx == 1 && incy == 1) {
         const KernelTuning &t = kernelTuning();
+        const simd::Kernels *sk = simd::active();
         parallelFor(0, n, t.threadsFor(n), 4096,
                     [&](std::int64_t b, std::int64_t e) {
+                        if (sk) {
+                            sk->saxpy(e - b, a, x + b, y + b);
+                            return;
+                        }
                         for (std::int64_t i = b; i < e; ++i)
                             y[i] += a * x[i];
                     });
@@ -88,8 +101,13 @@ saxpby(std::int64_t n, float a, const float *x, std::int64_t incx,
     }
     if (incx == 1 && incy == 1) {
         const KernelTuning &t = kernelTuning();
+        const simd::Kernels *sk = simd::active();
         parallelFor(0, n, t.threadsFor(n), 4096,
                     [&](std::int64_t lo, std::int64_t hi) {
+                        if (sk) {
+                            sk->saxpby(hi - lo, a, x + lo, b, y + lo);
+                            return;
+                        }
                         for (std::int64_t i = lo; i < hi; ++i)
                             y[i] = a * x[i] + b * y[i];
                     });
@@ -109,8 +127,13 @@ sscal(std::int64_t n, float a, float *x, std::int64_t incx)
     fatalIf(incx == 0, "sscal: zero stride");
     if (incx == 1) {
         const KernelTuning &t = kernelTuning();
+        const simd::Kernels *sk = simd::active();
         parallelFor(0, n, t.threadsFor(n), 4096,
                     [&](std::int64_t b, std::int64_t e) {
+                        if (sk) {
+                            sk->sscal(e - b, a, x + b);
+                            return;
+                        }
                         for (std::int64_t i = b; i < e; ++i)
                             x[i] *= a;
                     });
@@ -130,8 +153,13 @@ scopy(std::int64_t n, const float *x, std::int64_t incx, float *y,
     fatalIf(incx == 0 || incy == 0, "scopy: zero stride");
     if (incx == 1 && incy == 1) {
         const KernelTuning &t = kernelTuning();
+        const simd::Kernels *sk = simd::active();
         parallelFor(0, n, t.threadsFor(n), 4096,
                     [&](std::int64_t b, std::int64_t e) {
+                        if (sk) {
+                            sk->scopy(e - b, x + b, y + b);
+                            return;
+                        }
                         for (std::int64_t i = b; i < e; ++i)
                             y[i] = x[i];
                     });
@@ -157,9 +185,12 @@ sdot(std::int64_t n, const float *x, std::int64_t incx, const float *y,
         // the combine tree depend only on n, so the result is
         // bit-identical for any thread count.
         const KernelTuning &t = kernelTuning();
+        const simd::Kernels *sk = simd::active();
         double acc = deterministicReduce<double>(
             n, t.reduceChunk, t.threadsFor(n),
             [&](std::int64_t b, std::int64_t e) {
+                if (sk)
+                    return sk->sdot(e - b, x + b, y + b);
                 double s = 0.0;
                 for (std::int64_t i = b; i < e; ++i)
                     s += static_cast<double>(x[i]) *
@@ -201,8 +232,17 @@ snrm2(std::int64_t n, const float *x, std::int64_t incx)
     };
     if (incx == 1) {
         const KernelTuning &t = kernelTuning();
+        const simd::Kernels *sk = simd::active();
+        auto chunkFn = [&](std::int64_t b, std::int64_t e) {
+            if (sk) {
+                Slassq s;
+                sk->slassq(e - b, x + b, &s.scale, &s.ssq);
+                return s;
+            }
+            return chunkSsq(b, e);
+        };
         Slassq s = deterministicReduce<Slassq>(
-            n, t.reduceChunk, t.threadsFor(n), chunkSsq, slassqCombine);
+            n, t.reduceChunk, t.threadsFor(n), chunkFn, slassqCombine);
         return static_cast<float>(s.scale * std::sqrt(s.ssq));
     }
     Slassq s;
@@ -229,9 +269,12 @@ sasum(std::int64_t n, const float *x, std::int64_t incx)
     fatalIf(incx == 0, "sasum: zero stride");
     if (incx == 1) {
         const KernelTuning &t = kernelTuning();
+        const simd::Kernels *sk = simd::active();
         double acc = deterministicReduce<double>(
             n, t.reduceChunk, t.threadsFor(n),
             [&](std::int64_t b, std::int64_t e) {
+                if (sk)
+                    return sk->sasum(e - b, x + b);
                 double s = 0.0;
                 for (std::int64_t i = b; i < e; ++i)
                     s += std::fabs(static_cast<double>(x[i]));
@@ -259,7 +302,14 @@ isamax(std::int64_t n, const float *x, std::int64_t incx)
         std::int64_t i;
     };
     const std::int64_t base = startIndex(n, incx);
+    const simd::Kernels *sk = incx == 1 ? simd::active() : nullptr;
     auto chunkBest = [&](std::int64_t b, std::int64_t e) {
+        if (sk) {
+            Best best;
+            best.i = b + sk->isamax(e - b, x + b);
+            best.v = std::fabs(x[best.i]);
+            return best;
+        }
         Best best{std::fabs(x[base + b * incx]), b};
         for (std::int64_t i = b + 1; i < e; ++i) {
             float v = std::fabs(x[base + i * incx]);
@@ -288,8 +338,15 @@ caxpy(std::int64_t n, cfloat a, const cfloat *x, std::int64_t incx,
     fatalIf(incx == 0 || incy == 0, "caxpy: zero stride");
     if (incx == 1 && incy == 1) {
         const KernelTuning &t = kernelTuning();
+        const simd::Kernels *sk = simd::active();
         parallelFor(0, n, t.threadsFor(2 * n), 4096,
                     [&](std::int64_t b, std::int64_t e) {
+                        if (sk) {
+                            sk->caxpy(e - b, a.real(), a.imag(),
+                                      flat(x + b),
+                                      reinterpret_cast<float *>(y + b));
+                            return;
+                        }
                         for (std::int64_t i = b; i < e; ++i)
                             y[i] += a * x[i];
                     });
@@ -327,8 +384,15 @@ cdotc(std::int64_t n, const cfloat *x, std::int64_t incx, const cfloat *y,
     fatalIf(incx == 0 || incy == 0, "cdotc: zero stride");
     const std::int64_t bx = startIndex(n, incx);
     const std::int64_t by = startIndex(n, incy);
+    const simd::Kernels *sk =
+        incx == 1 && incy == 1 ? simd::active() : nullptr;
     auto chunk = [&](std::int64_t b, std::int64_t e) {
         CAcc s;
+        if (sk) {
+            sk->cdot(e - b, flat(x + b), flat(y + b), /*conjx=*/true,
+                     &s.re, &s.im);
+            return s;
+        }
         for (std::int64_t i = b; i < e; ++i) {
             const cfloat &a = x[bx + i * incx];
             const cfloat &c = y[by + i * incy];
@@ -356,8 +420,15 @@ cdotu(std::int64_t n, const cfloat *x, std::int64_t incx, const cfloat *y,
     fatalIf(incx == 0 || incy == 0, "cdotu: zero stride");
     const std::int64_t bx = startIndex(n, incx);
     const std::int64_t by = startIndex(n, incy);
+    const simd::Kernels *sk =
+        incx == 1 && incy == 1 ? simd::active() : nullptr;
     auto chunk = [&](std::int64_t b, std::int64_t e) {
         CAcc s;
+        if (sk) {
+            sk->cdot(e - b, flat(x + b), flat(y + b), /*conjx=*/false,
+                     &s.re, &s.im);
+            return s;
+        }
         for (std::int64_t i = b; i < e; ++i) {
             const cfloat &a = x[bx + i * incx];
             const cfloat &c = y[by + i * incy];

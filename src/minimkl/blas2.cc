@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "minimkl/blas1.hh"
 
 namespace mealib::mkl {
@@ -76,22 +77,30 @@ sgemv(Order order, Transpose trans, std::int64_t m, std::int64_t n,
     const KernelTuning &tun = kernelTuning();
     const int threads = tun.threadsFor(ylen * xlen);
 
+    const simd::Kernels *sk = simd::active();
+
     if (!c.transposed) {
         // Row-wise: each output element is a dot product over one stored
         // row — the streaming-friendly case. Rows are independent, so
         // the row range is statically partitioned across the pool; each
-        // row's accumulation stays sequential, keeping the result
+        // row's accumulation stays sequential (the SIMD kernel uses the
+        // fixed 8-lane accumulator layout), keeping the result
         // bit-identical for any thread count.
+        const bool vecRow = sk != nullptr && incx == 1;
         parallelFor(0, ylen, threads, 1,
                     [&](std::int64_t rb, std::int64_t re) {
                         for (std::int64_t i = rb; i < re; ++i) {
                             double acc = 0.0;
                             const float *row = a + i * lda;
-                            std::int64_t jx = xbase;
-                            for (std::int64_t j = 0; j < xlen;
-                                 ++j, jx += incx)
-                                acc += static_cast<double>(row[j]) *
-                                       static_cast<double>(x[jx]);
+                            if (vecRow) {
+                                acc = sk->sdot(xlen, row, x);
+                            } else {
+                                std::int64_t jx = xbase;
+                                for (std::int64_t j = 0; j < xlen;
+                                     ++j, jx += incx)
+                                    acc += static_cast<double>(row[j]) *
+                                           static_cast<double>(x[jx]);
+                            }
                             y[ybase + i * incy] +=
                                 alpha * static_cast<float>(acc);
                         }
@@ -101,6 +110,7 @@ sgemv(Order order, Transpose trans, std::int64_t m, std::int64_t n,
         // stride. Each thread owns a contiguous slice of y and walks
         // every stored row's slice, so writes never overlap and the
         // per-element accumulation order (j ascending) is unchanged.
+        const bool vecCol = sk != nullptr && incy == 1;
         parallelFor(0, ylen, threads, 256,
                     [&](std::int64_t lb, std::int64_t le) {
                         std::int64_t jx = xbase;
@@ -110,6 +120,10 @@ sgemv(Order order, Transpose trans, std::int64_t m, std::int64_t n,
                             if (ax == 0.0f)
                                 continue;
                             const float *row = a + j * lda;
+                            if (vecCol) {
+                                sk->saxpy(le - lb, ax, row + lb, y + lb);
+                                continue;
+                            }
                             for (std::int64_t i = lb; i < le; ++i)
                                 y[ybase + i * incy] += ax * row[i];
                         }
@@ -155,21 +169,40 @@ cgemv(Order order, Transpose trans, std::int64_t m, std::int64_t n,
     const KernelTuning &tun = kernelTuning();
     const int threads = tun.threadsFor(2 * ylen * xlen);
 
+    const simd::Kernels *sk = simd::active();
+
     if (!c.transposed) {
+        // Vector levels accumulate the row dot in 4 complex f64 lanes
+        // (an upgrade over the legacy float accumulator, consistent
+        // across the non-scalar ISA levels); scalar keeps legacy bits.
+        const bool vecRow = sk != nullptr && incx == 1;
         parallelFor(0, ylen, threads, 1,
                     [&](std::int64_t rb, std::int64_t re) {
                         for (std::int64_t i = rb; i < re; ++i) {
                             cfloat acc{};
                             const cfloat *row = a + i * lda;
-                            std::int64_t jx = xbase;
-                            for (std::int64_t j = 0; j < xlen;
-                                 ++j, jx += incx)
-                                acc += maybe_conj(row[j]) * x[jx];
+                            if (vecRow) {
+                                double re_ = 0.0;
+                                double im_ = 0.0;
+                                sk->cdot(
+                                    xlen,
+                                    reinterpret_cast<const float *>(row),
+                                    reinterpret_cast<const float *>(x),
+                                    c.conj, &re_, &im_);
+                                acc = cfloat{static_cast<float>(re_),
+                                             static_cast<float>(im_)};
+                            } else {
+                                std::int64_t jx = xbase;
+                                for (std::int64_t j = 0; j < xlen;
+                                     ++j, jx += incx)
+                                    acc += maybe_conj(row[j]) * x[jx];
+                            }
                             y[ybase + i * incy] += alpha * acc;
                         }
                     });
     } else {
         // Same y-slice ownership scheme as sgemv's transposed path.
+        const bool vecCol = sk != nullptr && incy == 1 && !c.conj;
         parallelFor(0, ylen, threads, 256,
                     [&](std::int64_t lb, std::int64_t le) {
                         std::int64_t jx = xbase;
@@ -179,6 +212,14 @@ cgemv(Order order, Transpose trans, std::int64_t m, std::int64_t n,
                             if (ax == cfloat{})
                                 continue;
                             const cfloat *row = a + j * lda;
+                            if (vecCol) {
+                                sk->caxpy(
+                                    le - lb, ax.real(), ax.imag(),
+                                    reinterpret_cast<const float *>(row
+                                                                    + lb),
+                                    reinterpret_cast<float *>(y + lb));
+                                continue;
+                            }
                             for (std::int64_t i = lb; i < le; ++i)
                                 y[ybase + i * incy] +=
                                     ax * maybe_conj(row[i]);

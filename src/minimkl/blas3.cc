@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 
 namespace mealib::mkl {
 
@@ -47,12 +48,42 @@ class OpView
         return conj_ ? conjOf(v) : v;
     }
 
+    /** @return true when op(A) walks A column-wise. */
+    bool
+    transposed() const
+    {
+        return trans_;
+    }
+
+    /** Raw stored row @p i — valid only when !transposed() (no conj). */
+    const T *
+    rowPtr(std::int64_t i) const
+    {
+        return a_ + i * lda_;
+    }
+
   private:
     const T *a_;
     std::int64_t lda_;
     bool trans_;
     bool conj_;
 };
+
+/** alpha*x + y row update through the active SIMD table. */
+inline void
+simdAxpyRow(const simd::Kernels *sk, std::int64_t n, float av,
+            const float *x, float *y)
+{
+    sk->saxpy(n, av, x, y);
+}
+
+inline void
+simdAxpyRow(const simd::Kernels *sk, std::int64_t n, cfloat av,
+            const cfloat *x, cfloat *y)
+{
+    sk->caxpy(n, av.real(), av.imag(), reinterpret_cast<const float *>(x),
+              reinterpret_cast<float *>(y));
+}
 
 /** Row-major blocked GEMM core: C := alpha*op(A)*op(B) + beta*C. */
 template <typename T>
@@ -94,6 +125,11 @@ gemmRowMajor(Transpose transa, Transpose transb, std::int64_t m,
     // kk-ascending update order is unchanged by the partition.
     const std::int64_t BS = tun.gemmBlock;
     const std::int64_t mult = tun.threadsFor(2 * m * n * k);
+    // When op(B) is untransposed its rows are contiguous, so the j map
+    // runs through the SIMD axpy kernel (bit-identical to the scalar
+    // elementwise update at every level).
+    const simd::Kernels *sk = simd::active();
+    const bool vecB = sk != nullptr && !B.transposed();
     parallelFor(0, m, mult, BS, [&](std::int64_t mb, std::int64_t me) {
         for (std::int64_t ii = mb; ii < me; ii += BS) {
             std::int64_t ie = std::min(ii + BS, me);
@@ -107,6 +143,11 @@ gemmRowMajor(Transpose transa, Transpose transb, std::int64_t m,
                             T av = alpha * A(i, p);
                             if (isZero(av))
                                 continue;
+                            if (vecB) {
+                                simdAxpyRow(sk, je - jj, av,
+                                            B.rowPtr(p) + jj, crow + jj);
+                                continue;
+                            }
                             for (std::int64_t j = jj; j < je; ++j)
                                 crow[j] += av * B(p, j);
                         }
@@ -169,6 +210,13 @@ cherkRowMajor(Uplo uplo, Transpose trans, std::int64_t n, std::int64_t k,
     // the triangle are independent and fan out across the pool.
     const std::int64_t PS = tun.gemmBlock;
     const int rowThreads = tun.threadsFor(4 * n * n * k);
+    // NoTrans rows are contiguous: each panel dot runs through the
+    // fixed-width complex dot kernel (conj(a_i).a_j is the conjugate of
+    // the legacy x.conj(y) walk, so only the imaginary sign flips), and
+    // the panel partials accumulate in pp-ascending order — identical
+    // across vector ISA levels and thread counts.
+    const simd::Kernels *sk = simd::active();
+    const bool vecRow = sk != nullptr && notrans;
     parallelFor(0, n, rowThreads, 1,
                 [&](std::int64_t rb, std::int64_t re) {
                     for (std::int64_t i = rb; i < re; ++i) {
@@ -178,6 +226,19 @@ cherkRowMajor(Uplo uplo, Transpose trans, std::int64_t n, std::int64_t k,
                             double racc = 0.0, iacc = 0.0;
                             for (std::int64_t pp = 0; pp < k; pp += PS) {
                                 std::int64_t pe = std::min(pp + PS, k);
+                                if (vecRow) {
+                                    double re_ = 0.0, im_ = 0.0;
+                                    sk->cdot(
+                                        pe - pp,
+                                        reinterpret_cast<const float *>(
+                                            a + i * lda + pp),
+                                        reinterpret_cast<const float *>(
+                                            a + j * lda + pp),
+                                        /*conjx=*/true, &re_, &im_);
+                                    racc += re_;
+                                    iacc -= im_;
+                                    continue;
+                                }
                                 for (std::int64_t p = pp; p < pe; ++p) {
                                     cfloat x =
                                         notrans

@@ -1,10 +1,12 @@
 #include "minimkl/transpose.hh"
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 
 namespace mealib::mkl {
 
@@ -47,12 +49,20 @@ omatcopyRowMajor(Transpose trans, std::int64_t rows, std::int64_t cols,
     const KernelTuning &tun = kernelTuning();
     const int threads = tun.threadsFor(rows * cols);
 
+    const simd::Kernels *sk = simd::active();
+
     if (!t) {
         parallelFor(0, rows, threads, 1,
                     [&](std::int64_t rb, std::int64_t re) {
                         for (std::int64_t i = rb; i < re; ++i) {
                             const T *ra = a + i * lda;
                             T *rb2 = b + i * ldb;
+                            if constexpr (std::is_same_v<T, float>) {
+                                if (!cj && sk) {
+                                    sk->scopyScale(cols, alpha, ra, rb2);
+                                    continue;
+                                }
+                            }
                             if (cj) {
                                 for (std::int64_t j = 0; j < cols; ++j)
                                     rb2[j] = alpha * conjOf(ra[j]);
@@ -66,7 +76,9 @@ omatcopyRowMajor(Transpose trans, std::int64_t rows, std::int64_t cols,
     }
 
     // Blocked transpose: both the read and the write stay within one
-    // BS x BS tile, so each side touches at most BS distinct rows.
+    // BS x BS tile, so each side touches at most BS distinct rows. The
+    // float tiles run through the 8x8 in-register transpose kernel
+    // (bit-identical to the elementwise loop).
     const std::int64_t BS = tun.tile;
     const std::int64_t rowTiles = (rows + BS - 1) / BS;
     parallelFor(0, rowTiles, threads, 1,
@@ -76,6 +88,14 @@ omatcopyRowMajor(Transpose trans, std::int64_t rows, std::int64_t cols,
                         std::int64_t ie = std::min(ii + BS, rows);
                         for (std::int64_t jj = 0; jj < cols; jj += BS) {
                             std::int64_t je = std::min(jj + BS, cols);
+                            if constexpr (std::is_same_v<T, float>) {
+                                if (!cj && sk) {
+                                    sk->somatTile(ie - ii, je - jj, alpha,
+                                                  a + ii * lda + jj, lda,
+                                                  b + jj * ldb + ii, ldb);
+                                    continue;
+                                }
+                            }
                             for (std::int64_t i = ii; i < ie; ++i) {
                                 const T *ra = a + i * lda;
                                 for (std::int64_t j = jj; j < je; ++j) {
@@ -146,13 +166,47 @@ imatcopyDispatch(Order order, Transpose trans, std::int64_t rows,
         // [rt*BS, ...) that no other band's swap reaches.
         std::int64_t n = srows;
         const std::int64_t tiles = (n + BS - 1) / BS;
+        const simd::Kernels *sk = simd::active();
         parallelFor(0, tiles, threads, 1,
                     [&](std::int64_t tb, std::int64_t te) {
+                        // Scratch for the SIMD tile-pair swap (sized once
+                        // per band; both mirrors are fully read into the
+                        // transposing kernel before either is written).
+                        std::vector<T> t1, t2;
                         for (std::int64_t rt = tb; rt < te; ++rt) {
                             std::int64_t ii = rt * BS;
                             std::int64_t ie = std::min(ii + BS, n);
                             for (std::int64_t jj = ii; jj < n; jj += BS) {
                                 std::int64_t je = std::min(jj + BS, n);
+                                if constexpr (std::is_same_v<T, float>) {
+                                    if (!cj && sk && jj > ii) {
+                                        const std::int64_t h = ie - ii;
+                                        const std::int64_t w = je - jj;
+                                        t1.resize(static_cast<std::size_t>(
+                                            h * w));
+                                        t2.resize(static_cast<std::size_t>(
+                                            h * w));
+                                        // t1[j'][i'] = alpha*A[ii+i'][jj+j']
+                                        sk->somatTile(h, w, alpha,
+                                                      ab + ii * lda + jj,
+                                                      lda, t1.data(), h);
+                                        // t2[i'][j'] = alpha*A[jj+j'][ii+i']
+                                        sk->somatTile(w, h, alpha,
+                                                      ab + jj * lda + ii,
+                                                      lda, t2.data(), w);
+                                        for (std::int64_t r = 0; r < h;
+                                             ++r)
+                                            sk->scopy(
+                                                w, t2.data() + r * w,
+                                                ab + (ii + r) * lda + jj);
+                                        for (std::int64_t r = 0; r < w;
+                                             ++r)
+                                            sk->scopy(
+                                                h, t1.data() + r * h,
+                                                ab + (jj + r) * lda + ii);
+                                        continue;
+                                    }
+                                }
                                 for (std::int64_t i = ii; i < ie; ++i) {
                                     std::int64_t j0 = std::max(jj, i);
                                     for (std::int64_t j = j0; j < je;

@@ -3,6 +3,7 @@
 // runtime-backed accelerator backend, and the bit-for-bit guarantee of
 // host-side execution through the dispatcher.
 
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -177,6 +178,63 @@ TEST(Policy, CalibratedSticksAfterWindow)
     // and the choice no longer changes.
     for (int i = 0; i < 3; ++i)
         EXPECT_EQ(policy.decide(d, &costs), Backend::Accel);
+}
+
+TEST(CostModel, FusionWindowMemoSurvivesToggle)
+{
+    // The accel memo is keyed by (shape, window): re-pricing under a
+    // window seen before must return the cached value bitwise, and a
+    // toggle away and back must not re-derive (or drift) the estimate.
+    RooflineCostModel costs;
+    eval::Workload w = eval::table2Workload(accel::AccelKind::AXPY);
+    OpDesc d = opDescFromCall(w.call, w.loop);
+
+    const double w1 = costs.accelSeconds(d);
+    costs.setFusionWindow(4);
+    const double w4 = costs.accelSeconds(d);
+    EXPECT_LT(w4, w1); // amortized overhead must shrink the estimate
+    costs.setFusionWindow(1);
+    const double w1Again = costs.accelSeconds(d);
+    EXPECT_EQ(std::memcmp(&w1Again, &w1, sizeof w1), 0);
+    costs.setFusionWindow(4);
+    const double w4Again = costs.accelSeconds(d);
+    EXPECT_EQ(std::memcmp(&w4Again, &w4, sizeof w4), 0);
+
+    // The host side is window-independent by construction.
+    costs.setFusionWindow(1);
+    const double h1 = costs.hostSeconds(d);
+    costs.setFusionWindow(4);
+    const double h4 = costs.hostSeconds(d);
+    EXPECT_EQ(std::memcmp(&h4, &h1, sizeof h1), 0);
+}
+
+TEST(CostModel, HostCalibrationOffByDefault)
+{
+    // Without MEALIB_HOST_CALIBRATE the modeled host baseline is the
+    // pinned pricing: scale exactly 1.
+    ASSERT_EQ(unsetenv("MEALIB_HOST_CALIBRATE"), 0);
+    RooflineCostModel costs;
+    EXPECT_EQ(costs.hostCalibrationScale(), 1.0);
+}
+
+TEST(CostModel, HostCalibrationScalesHostSeconds)
+{
+    eval::Workload w = eval::table2Workload(accel::AccelKind::AXPY);
+    OpDesc d = opDescFromCall(w.call, w.loop);
+
+    ASSERT_EQ(unsetenv("MEALIB_HOST_CALIBRATE"), 0);
+    RooflineCostModel pinned;
+    const double base = pinned.hostSeconds(d);
+
+    ASSERT_EQ(setenv("MEALIB_HOST_CALIBRATE", "1", 1), 0);
+    RooflineCostModel calibrated;
+    ASSERT_EQ(unsetenv("MEALIB_HOST_CALIBRATE"), 0);
+
+    const double scale = calibrated.hostCalibrationScale();
+    EXPECT_GE(scale, 0.05);
+    EXPECT_LE(scale, 20.0);
+    EXPECT_NEAR(calibrated.hostSeconds(d), base / scale,
+                1e-12 * base / scale);
 }
 
 TEST(Policy, ModelDrivenPoliciesDefaultHostWithoutOracle)

@@ -21,6 +21,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "minimkl/blas1.hh"
 #include "minimkl/blas2.hh"
 #include "minimkl/blas3.hh"
@@ -632,6 +633,260 @@ TEST_F(KernelParityTest, SgemmMatchesReferenceAcrossThreadCounts)
                                   c.size() * sizeof(float)),
                       0)
                 << "threads=" << threads;
+    }
+}
+
+// --- SIMD ISA matrix --------------------------------------------------------
+
+// The portable SIMD layer (common/simd.hh) pins two contracts on top of
+// parity: MEALIB_SIMD=scalar reproduces the legacy loops bit for bit at
+// every thread count, and every vector level (sse4/avx2/avx512) produces
+// one common result — the fixed 8-lane virtual vector makes the ISA
+// width invisible. Values between scalar and vector levels are compared
+// with NEAR, not EQ: a native-arch build may contract the inline scalar
+// loops into FMAs while the vector backends pin contraction off.
+
+TEST_F(KernelParityTest, MapsAndReductionsMatchOracleAtEveryIsaLevel)
+{
+    for (simd::SimdLevel level : simd::availableLevels()) {
+        kernelTuning().simd = level;
+        // Tail sizes 0..17 exercise every lane-remainder; offsets 0..7
+        // exercise every 32-byte misalignment of the float pointers.
+        for (std::int64_t n = 0; n <= 17; ++n) {
+            for (std::int64_t off = 0; off < 8; ++off) {
+                auto xb = randomVec(n + off, 40 + n * 8 + off);
+                auto yb = randomVec(n + off, 80 + n * 8 + off);
+                const float *x = xb.data() + off;
+
+                std::vector<float> expect(
+                    yb.begin() + static_cast<std::ptrdiff_t>(off),
+                    yb.end());
+                double dot = 0.0, asum = 0.0;
+                for (std::int64_t i = 0; i < n; ++i) {
+                    expect[static_cast<std::size_t>(i)] +=
+                        0.75f * x[i];
+                    dot += static_cast<double>(x[i]) *
+                           static_cast<double>(
+                               yb[static_cast<std::size_t>(off + i)]);
+                    asum += std::fabs(static_cast<double>(x[i]));
+                }
+
+                auto yc = yb;
+                saxpy(n, 0.75f, x, 1, yc.data() + off, 1);
+                for (std::int64_t i = 0; i < n; ++i)
+                    ASSERT_NEAR(yc[static_cast<std::size_t>(off + i)],
+                                expect[static_cast<std::size_t>(i)],
+                                1e-6)
+                        << simd::name(level) << " n=" << n
+                        << " off=" << off;
+
+                const double tol = 1e-5 * (static_cast<double>(n) + 1.0);
+                EXPECT_NEAR(sdot(n, x, 1, yb.data() + off, 1), dot, tol)
+                    << simd::name(level) << " n=" << n << " off=" << off;
+                EXPECT_NEAR(sasum(n, x, 1), asum, tol)
+                    << simd::name(level) << " n=" << n << " off=" << off;
+                if (n > 0) {
+                    std::int64_t best = 0;
+                    float bv = -1.0f;
+                    for (std::int64_t i = 0; i < n; ++i)
+                        if (std::fabs(x[i]) > bv) {
+                            bv = std::fabs(x[i]);
+                            best = i;
+                        }
+                    EXPECT_EQ(isamax(n, x, 1), best)
+                        << simd::name(level) << " n=" << n
+                        << " off=" << off;
+                }
+            }
+        }
+        // Strided calls must fall back to the legacy loops untouched.
+        auto x = randomVec(201, 90);
+        auto y = randomVec(201, 91);
+        double dot2 = 0.0;
+        for (std::int64_t i = 0; i < 100; ++i)
+            dot2 += static_cast<double>(
+                        x[static_cast<std::size_t>(2 * i)]) *
+                    static_cast<double>(
+                        y[static_cast<std::size_t>(2 * i)]);
+        EXPECT_NEAR(sdot(100, x.data(), 2, y.data(), 2), dot2, 1e-4)
+            << simd::name(level);
+    }
+}
+
+TEST_F(KernelParityTest, MatrixKernelsMatchNaiveAtEveryIsaLevel)
+{
+    const std::int64_t dims[] = {1, 7, 30, 65};
+    for (simd::SimdLevel level : simd::availableLevels()) {
+        kernelTuning().simd = level;
+        for (std::int64_t m : dims) {
+            for (std::int64_t n : dims) {
+                auto a = randomVec(m * n, 100 + m);
+                auto x = randomVec(n, 101 + n);
+                std::vector<float> y(static_cast<std::size_t>(m));
+                std::vector<float> expect(static_cast<std::size_t>(m));
+                naive::sgemv(m, n, a.data(), n, x.data(), expect.data());
+                sgemv(Order::RowMajor, Transpose::NoTrans, m, n, 1.0f,
+                      a.data(), n, x.data(), 1, 0.0f, y.data(), 1);
+                for (std::int64_t i = 0; i < m; ++i)
+                    ASSERT_NEAR(y[static_cast<std::size_t>(i)],
+                                expect[static_cast<std::size_t>(i)],
+                                1e-4)
+                        << simd::name(level) << " " << m << "x" << n;
+
+                std::vector<float> bt(a.size());
+                std::vector<float> tExpect(a.size());
+                naive::transpose(m, n, a.data(), tExpect.data());
+                somatcopy(Order::RowMajor, Transpose::Trans, m, n, 1.0f,
+                          a.data(), n, bt.data(), m);
+                ASSERT_EQ(bt, tExpect)
+                    << simd::name(level) << " " << m << "x" << n;
+
+                auto c = a;
+                simatcopy(Order::RowMajor, Transpose::Trans, m, n, 1.0f,
+                          c.data(), n, m);
+                ASSERT_EQ(c, tExpect)
+                    << simd::name(level) << " " << m << "x" << n;
+            }
+        }
+
+        // FFT: the butterfly kernel against the recursive oracle.
+        const std::int64_t fn = 128;
+        auto in = randomCVec(fn, 110);
+        std::vector<cfloat> out(in.size());
+        FftPlan::dft1d(fn, FftDirection::Forward).execute(in.data(),
+                                                          out.data());
+        std::vector<cfloat> expect(in.size());
+        naive::fftRecursive(in.data(), expect.data(), fn, -1);
+        for (std::int64_t i = 0; i < fn; ++i) {
+            ASSERT_NEAR(out[static_cast<std::size_t>(i)].real(),
+                        expect[static_cast<std::size_t>(i)].real(), 1e-2)
+                << simd::name(level) << " bin " << i;
+            ASSERT_NEAR(out[static_cast<std::size_t>(i)].imag(),
+                        expect[static_cast<std::size_t>(i)].imag(), 1e-2)
+                << simd::name(level) << " bin " << i;
+        }
+    }
+}
+
+TEST_F(KernelParityTest, ScalarLevelBitIdenticalAcrossThreadCounts)
+{
+    // The legacy pin: MEALIB_SIMD=scalar must reproduce the pre-SIMD
+    // library bit for bit — same chunk tree, same inline loops — at
+    // every thread count.
+    kernelTuning().simd = simd::SimdLevel::Scalar;
+    const std::int64_t n = (1 << 16) + 11;
+    auto x = randomVec(n, 120);
+    auto y = randomVec(n, 121);
+
+    kernelTuning().numThreads = 1;
+    const float dotRef = sdot(n, x.data(), 1, y.data(), 1);
+    auto saxRef = y;
+    saxpy(n, 1.25f, x.data(), 1, saxRef.data(), 1);
+
+    for (int threads : {2, 8}) {
+        kernelTuning().numThreads = threads;
+        float d = sdot(n, x.data(), 1, y.data(), 1);
+        EXPECT_EQ(std::memcmp(&d, &dotRef, sizeof d), 0)
+            << "threads=" << threads;
+        auto sax = y;
+        saxpy(n, 1.25f, x.data(), 1, sax.data(), 1);
+        EXPECT_EQ(std::memcmp(sax.data(), saxRef.data(),
+                              sax.size() * sizeof(float)),
+                  0)
+            << "threads=" << threads;
+    }
+}
+
+TEST_F(KernelParityTest, VectorIsaLevelsBitIdenticalAcrossThreads)
+{
+    std::vector<simd::SimdLevel> vec;
+    for (simd::SimdLevel level : simd::availableLevels())
+        if (level != simd::SimdLevel::Scalar)
+            vec.push_back(level);
+    if (vec.empty())
+        GTEST_SKIP() << "no vector backend on this machine";
+
+    const std::int64_t n = (1 << 16) + 13;
+    auto x = randomVec(n, 130);
+    auto y = randomVec(n, 131);
+    const std::int64_t dim = 96;
+    auto a = randomVec(dim * dim, 132);
+    auto fin = randomCVec(256, 133);
+
+    bool first = true;
+    float dotRef = 0.0f, nrmRef = 0.0f;
+    std::vector<float> saxRef, gemvRef, traRef;
+    std::vector<cfloat> fftRef;
+    for (simd::SimdLevel level : vec) {
+        kernelTuning().simd = level;
+        for (int threads : kThreadCounts) {
+            kernelTuning().numThreads = threads;
+
+            float d = sdot(n, x.data(), 1, y.data(), 1);
+            float r = snrm2(n, x.data(), 1);
+            auto sax = y;
+            saxpy(n, 1.25f, x.data(), 1, sax.data(), 1);
+            std::vector<float> gy(static_cast<std::size_t>(dim));
+            sgemv(Order::RowMajor, Transpose::NoTrans, dim, dim, 1.0f,
+                  a.data(), dim, x.data(), 1, 0.0f, gy.data(), 1);
+            std::vector<float> tb(a.size());
+            somatcopy(Order::RowMajor, Transpose::Trans, dim, dim, 1.0f,
+                      a.data(), dim, tb.data(), dim);
+            std::vector<cfloat> fout(fin.size());
+            FftPlan::dft1d(256, FftDirection::Forward)
+                .execute(fin.data(), fout.data());
+
+            if (first) {
+                dotRef = d;
+                nrmRef = r;
+                saxRef = sax;
+                gemvRef = gy;
+                traRef = tb;
+                fftRef = fout;
+                first = false;
+                continue;
+            }
+            EXPECT_EQ(std::memcmp(&d, &dotRef, sizeof d), 0)
+                << simd::name(level) << " threads=" << threads;
+            EXPECT_EQ(std::memcmp(&r, &nrmRef, sizeof r), 0)
+                << simd::name(level) << " threads=" << threads;
+            EXPECT_EQ(std::memcmp(sax.data(), saxRef.data(),
+                                  sax.size() * sizeof(float)),
+                      0)
+                << simd::name(level) << " threads=" << threads;
+            EXPECT_EQ(std::memcmp(gy.data(), gemvRef.data(),
+                                  gy.size() * sizeof(float)),
+                      0)
+                << simd::name(level) << " threads=" << threads;
+            EXPECT_EQ(std::memcmp(tb.data(), traRef.data(),
+                                  tb.size() * sizeof(float)),
+                      0)
+                << simd::name(level) << " threads=" << threads;
+            EXPECT_EQ(std::memcmp(fout.data(), fftRef.data(),
+                                  fout.size() * sizeof(cfloat)),
+                      0)
+                << simd::name(level) << " threads=" << threads;
+        }
+    }
+}
+
+TEST_F(KernelParityTest, SimdLevelResolutionClampsToDetected)
+{
+    // Requests above what the machine (or build) supports clamp down,
+    // never up; scalar always resolves to scalar.
+    EXPECT_EQ(simd::resolveLevel(simd::SimdLevel::Scalar),
+              simd::SimdLevel::Scalar);
+    simd::SimdLevel detected = simd::detectedLevel();
+    EXPECT_LE(static_cast<int>(simd::resolveLevel(simd::SimdLevel::Auto)),
+              static_cast<int>(detected));
+    EXPECT_EQ(simd::resolveLevel(simd::SimdLevel::Auto), detected);
+    // Every advertised level must come with a kernel table (scalar's is
+    // the null table — the inline legacy loops).
+    for (simd::SimdLevel level : simd::availableLevels()) {
+        if (level == simd::SimdLevel::Scalar)
+            EXPECT_EQ(simd::tableFor(level), nullptr);
+        else
+            EXPECT_NE(simd::tableFor(level), nullptr);
     }
 }
 
